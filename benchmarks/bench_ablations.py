@@ -1,0 +1,68 @@
+"""Ablations of BrickDL's design constants (DESIGN.md experiment index).
+
+* delta threshold (section 3.3.2's 15 % rule) vs the measured-best strategy,
+* tau (section 3.3.3's 2^12 parallelism ceiling) vs the measured-best brick,
+* L2 capacity vs the best merge configuration (the partitioner's budget
+  premise).
+"""
+
+from benchlib import run_once
+
+from repro.bench import figures
+
+
+def test_ablation_delta_threshold(benchmark):
+    table = run_once(benchmark, lambda: figures.ablation_delta_threshold(num_subgraphs=4))
+    print()
+    print(table)
+    assert "15%" in table
+
+
+def test_ablation_tau(benchmark):
+    table = run_once(benchmark, figures.ablation_tau)
+    print()
+    print(table)
+    # The model must react to tau: different ceilings -> different bricks.
+    import re
+
+    bricks = {int(m) for m in re.findall(r"\|\s+(\d+)\s+\|\s+\d+\s*$", table, re.M)}
+    assert len(bricks) >= 1
+
+
+def test_ablation_l2_capacity(benchmark):
+    table = run_once(benchmark, figures.ablation_l2_capacity)
+    print()
+    print(table)
+    assert "L2" in table
+
+
+def test_ablation_cross_architecture(benchmark):
+    table = run_once(benchmark, lambda: figures.ablation_cross_architecture(num_subgraphs=3))
+    print()
+    print(table)
+    assert "MI100" in table and "A100" in table
+
+
+def test_ablation_model_depth(benchmark):
+    """The paper: "deeper models benefit even better from BrickDL, with the
+    ability to merge layers in more subgraphs" -- ResNet-101 vs ResNet-50."""
+    from repro.bench.harness import run_brickdl, run_conventional, scale_preset
+    from repro.baselines import CudnnBaseline
+    from repro.models import zoo
+
+    size = {"small": 96, "half": 160, "full": 224}[scale_preset()]
+
+    def experiment():
+        out = {}
+        for name in ("resnet50", "resnet101"):
+            row, plan = run_brickdl(zoo.MODELS[name](image_size=size))
+            base = run_conventional(CudnnBaseline, zoo.MODELS[name](image_size=size))
+            out[name] = (row.total / base.total, sum(1 for s in plan.subgraphs if s.is_merged))
+        return out
+
+    out = run_once(benchmark, experiment)
+    print()
+    for name, (ratio, merged) in out.items():
+        print(f"  {name}: {ratio:.3f}x cuDNN, {merged} merged subgraphs")
+    # The deeper model offers at least as many merged subgraphs.
+    assert out["resnet101"][1] >= out["resnet50"][1]

@@ -1,0 +1,22 @@
+"""Section 4.3.1: the CAS-rate microbenchmark deriving T_atomic.
+
+Paper result: T_atomic = 87.45 ns on NVIDIA A100.
+"""
+
+from benchlib import run_once
+
+from repro.bench.microbench import atomic_microbenchmark
+
+
+def bench_atomic_microbenchmark(benchmark):
+    result = run_once(benchmark, atomic_microbenchmark)
+    print(
+        f"\n[4.3.1] CAS microbenchmark: {result.num_threads} threads x "
+        f"{result.ops_per_thread:.0e} ops -> T_atomic = "
+        f"{result.time_per_atomic_ns:.2f} ns  (paper: 87.45 ns)"
+    )
+    assert abs(result.time_per_atomic_ns - 87.45) < 0.01
+
+
+def test_atomic_microbenchmark(benchmark):
+    bench_atomic_microbenchmark(benchmark)

@@ -1,0 +1,28 @@
+"""Section 4.3.2: the brick-compute microbenchmark deriving T_brick.
+
+Paper result: T_brick = 6.72 us for an 8x8x8 brick with a 3x3x3 filter.
+"""
+
+from benchlib import run_once
+
+from repro.bench.microbench import compute_microbenchmark
+
+
+def test_compute_microbenchmark(benchmark):
+    result = run_once(benchmark, compute_microbenchmark)
+    print(
+        f"\n[4.3.2] brick-compute microbenchmark: {result.brick} brick, "
+        f"{result.kernel} filter -> T_brick = {result.time_per_call_us:.2f} us"
+        f"  (paper: 6.72 us)"
+    )
+    assert abs(result.time_per_call_us - 6.72) < 0.05
+
+
+def test_compute_microbenchmark_scales_with_brick(benchmark):
+    small = compute_microbenchmark(brick=(4, 4, 4))
+    big = run_once(benchmark, lambda: compute_microbenchmark(brick=(16, 16, 16)))
+    print(
+        f"\n[4.3.2] T_brick scaling: 4^3 -> {small.time_per_call_us:.2f} us, "
+        f"16^3 -> {big.time_per_call_us:.2f} us"
+    )
+    assert big.time_per_call_us > small.time_per_call_us

@@ -1,0 +1,43 @@
+"""Fig. 10: merge-depth sweep on the six-layer 3-D conv proxy.
+
+Paper shape (at 112^3): moderate merges (3+3) give the best memoized result
+(12 % over cuDNN, -16.2 % DRAM transfer time); merging all six layers causes
+a significant slowdown for padded bricks (redundant halo compute explodes)
+and is the worst memoized configuration; 2-layer merges bring little.
+
+The shape assertions run at ``half``/``full`` scale (the paper's 112^3);
+``small`` (56^3) is a smoke run.
+"""
+
+from benchlib import run_once
+
+from repro.bench import figures
+from repro.bench.harness import scale_preset
+
+
+def _rows_by_label(result):
+    rows = result.groups["6-layer CNN proxy"]
+    return rows[0], {r.label: r for r in rows[1:]}
+
+
+def test_fig10_subgraph_size(benchmark):
+    result = run_once(benchmark, figures.fig10_subgraph_size)
+    print()
+    print(result.render())
+
+    base, by = _rows_by_label(result)
+    # Six-layer padded merge explodes (redundant halo compute).
+    assert by["6 padded"].total > 1.5 * base.total
+    assert by["6 padded"].compute > 2 * base.compute
+    # Conflict atomics grow with merge depth for memoized bricks.
+    c = [by[f"{cfg} memoized"].atomics_conflict_count for cfg in ("2+2+2", "3+3", "6")]
+    assert c[0] < c[2]
+
+    if scale_preset() in ("half", "full"):
+        # Moderate merges beat the baseline; 6-merge is the worst memoized
+        # configuration and 2-layer merges are not the best.
+        assert min(by["3+3 padded"].total, by["3+3 memoized"].total) < base.total
+        memoized = {cfg: by[f"{cfg} memoized"].total for cfg in ("2+2+2", "3+3", "4+2", "6")}
+        assert memoized["6"] == max(memoized.values())
+        # Merged execution reduces DRAM transactions vs the tiled baseline.
+        assert by["3+3 memoized"].dram_txns < base.dram_txns

@@ -1,0 +1,37 @@
+"""Fig. 11: brick-size sweep on the three-layer 3-D conv proxy.
+
+Paper shape (at 224^3): 4^3 bricks are the worst (padding data + atomic
+overhead), 32^3 bricks are poor (coarse-grained parallelism), and the sweet
+spot is in the middle (the paper measures 16^3 memoized best, 13.5 % over
+cuDNN, -17.8 % DRAM).  At the default 112^3 scale the same U-shape holds
+with the optimum between 8^3 and 16^3, exactly where the tau model puts it.
+"""
+
+from benchlib import run_once
+
+from repro.bench import figures
+from repro.bench.harness import scale_preset
+
+
+def test_fig11_brick_size(benchmark):
+    result = run_once(benchmark, figures.fig11_brick_size)
+    print()
+    print(result.render())
+
+    rows = result.groups["3-layer CNN proxy"]
+    base = rows[0]
+    by = {r.label: r for r in rows[1:]}
+
+    best = {b: min(by[f"B{b} padded"].total, by[f"B{b} memoized"].total) for b in (4, 8, 16, 32)}
+    # U-shape: the extremes lose to the middle.
+    assert best[4] > min(best[8], best[16])
+    assert best[32] > min(best[8], best[16])
+    # 4^3 padded suffers the most from halo data (L1 overfetch is maximal).
+    assert by["B4 padded"].l1_txns == max(r.l1_txns for r in rows[1:] if "padded" in r.label)
+    # 4^3 memoized executes the most atomics (most bricks).
+    assert by["B4 memoized"].atomics_compulsory_count == max(
+        r.atomics_compulsory_count for r in rows[1:]
+    )
+    if scale_preset() in ("half", "full"):
+        # The mid-size bricks beat the cuDNN baseline.
+        assert min(best[8], best[16]) < base.total

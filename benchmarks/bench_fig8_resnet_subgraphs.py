@@ -1,0 +1,35 @@
+"""Fig. 8: ResNet-50 case study -- per-subgraph time breakdowns for
+cuDNN / padded bricks / memoized bricks.
+
+Paper shape: both merged strategies beat the tiled cuDNN baseline on the
+early subgraphs; padded is relatively better on the earliest (large-layer)
+subgraphs, memoized on the deeper/smaller ones where padding growth delta
+exceeds 15 %.
+"""
+
+from benchlib import run_once
+
+from repro.bench import figures
+
+
+def test_fig8_resnet_case_study(benchmark):
+    result = run_once(benchmark, figures.fig8_resnet_case_study)
+    print()
+    print(result.render())
+
+    wins = 0
+    for group, rows in result.groups.items():
+        base = rows[0]
+        padded = next(r for r in rows if r.label == "padded")
+        memo = next(r for r in rows if r.label == "memoized")
+        if min(padded.total, memo.total) < base.total:
+            wins += 1
+        # The breakdown identities of the paper's bars must hold per run.
+        for r in rows:
+            assert abs(r.total - (r.idle + r.dram)) < 1e-9
+            assert abs(r.total - (r.other + r.compute + r.atomics_compulsory + r.atomics_conflict)) < 1e-9
+        # Memoized pays atomics, padded does not.
+        assert memo.atomics_compulsory_count > 0
+        assert padded.atomics_compulsory_count == 0
+    # Merged execution wins most subgraphs.
+    assert wins >= len(result.groups) // 2 + 1, f"merged won only {wins}/{len(result.groups)}"

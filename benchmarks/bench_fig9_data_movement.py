@@ -1,0 +1,33 @@
+"""Fig. 9: ResNet-50 data movement -- L1/L2/DRAM transactions of padded and
+memoized bricks relative to the cuDNN baseline, per subgraph.
+
+Paper shape: DRAM transactions drop (up to -21 %), traded against higher L2
+and L1 (overfetch from padded halos) transaction counts.
+"""
+
+from benchlib import run_once
+
+from repro.bench import figures
+
+
+def test_fig9_data_movement(benchmark):
+    fig8 = run_once(benchmark, figures.fig8_resnet_case_study)
+    print()
+    print(figures.fig9_data_movement(fig8))
+
+    dram_reduced = 0
+    l1_increased = 0
+    total = 0
+    for group, rows in fig8.groups.items():
+        base = rows[0]
+        for r in rows[1:]:
+            total += 1
+            norm = r.normalized_to(base)
+            if norm["dram_txns"] < 1.0:
+                dram_reduced += 1
+            if norm["l1_txns"] > 1.0:
+                l1_increased += 1
+    # The paper's signature: DRAM down for most configurations, L1 up
+    # (halo overfetch / brick-grain requests).
+    assert dram_reduced >= total * 0.6, f"DRAM reduced in only {dram_reduced}/{total}"
+    assert l1_increased >= total * 0.6, f"L1 increased in only {l1_increased}/{total}"

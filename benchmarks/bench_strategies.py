@@ -1,0 +1,58 @@
+"""Extension ablation: the three merged strategies head-to-head, and the
+empirical tuner vs the static performance models.
+
+Wavefront execution (paper section 6's suggested follow-up) recomputes
+nothing and issues no atomics; its cost is one synchronization per skewed
+wave and reduced parallelism on boundary waves.  This bench places it
+against padded and memoized bricks on the 3-layer conv proxy, and runs the
+tuner's model-agreement report on a small CNN.
+"""
+
+from benchlib import run_once
+
+from repro.baselines import CudnnBaseline
+from repro.bench.harness import run_brickdl, run_conventional, scale_preset
+from repro.bench.proxies import three_layer_proxy
+from repro.bench.reporting import format_breakdowns
+from repro.core.plan import Strategy
+
+_SIZE = {"small": 56, "half": 112, "full": 112}
+
+
+def test_three_strategies(benchmark):
+    size = _SIZE[scale_preset()]
+
+    def experiment():
+        rows = [run_conventional(CudnnBaseline, three_layer_proxy(size=size))]
+        for strategy in (Strategy.PADDED, Strategy.MEMOIZED, Strategy.WAVEFRONT):
+            row, _ = run_brickdl(three_layer_proxy(size=size), strategy=strategy,
+                                 brick=8, layer_schedule=(3,), label=strategy.value)
+            rows.append(row)
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    print()
+    print(format_breakdowns(rows, title=f"3-layer proxy @ {size}^3: strategies",
+                            relative_to=rows[0]))
+    by = {r.label: r for r in rows}
+    # Wavefront has memoized's exactly-once compute without its atomics.
+    assert by["wavefront"].atomics_compulsory_count == 0
+    assert by["wavefront"].compute <= by["padded"].compute
+    # Padded recomputes halos: strictly more flops than the others.
+    assert by["padded"].compute > by["memoized"].compute
+
+
+def test_tuner_agreement(benchmark):
+    from repro.core.tuner import tune_plan
+    from repro.models import zoo
+
+    def experiment():
+        graph = zoo.MODELS["vgg16"](image_size=96)
+        return tune_plan(graph, bricks=(4, 8))
+
+    _, report = run_once(benchmark, experiment)
+    print()
+    print(report.summary())
+    assert report.choices
+    for c in report.choices:
+        assert c.time <= c.model_time + 1e-12  # tuning never loses

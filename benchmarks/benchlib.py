@@ -1,0 +1,18 @@
+"""Shared benchmark configuration.
+
+Run with ``pytest benchmarks/ --benchmark-only``.  Each benchmark executes a
+full experiment from the paper's evaluation once (``rounds=1`` -- the
+measured quantity is the simulated-device metrics, printed as tables; the
+wall-clock pytest-benchmark reports is the simulation cost itself).
+
+Scale is controlled by ``BRICKDL_SCALE`` in {small, half, full}; ``small``
+(default) is a smoke-scale run, ``half``/``full`` reproduce the paper's
+sizes (see EXPERIMENTS.md).
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

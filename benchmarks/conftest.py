@@ -1,0 +1,1 @@
+"""Benchmark suite conftest (shared helpers live in benchlib.py)."""

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""DeepCAM-style climate segmentation through merged execution.
+
+The paper evaluates DeepCAM (Kurth et al., SC'18), an encoder-decoder
+segmenter for extreme-weather events in climate fields.  The CAM5 dataset
+is not redistributable, so this example synthesizes a climate-field-like
+input -- smooth multi-channel fields with two injected vortex-like anomalies
+-- and runs the reduced DeepCAM network functionally, printing the per-pixel
+class map and the merged-execution metrics.
+
+    python examples/deepcam_segmentation.py
+"""
+
+import numpy as np
+
+from repro.core import BrickDLEngine, ReferenceExecutor
+from repro.models import build
+
+
+def synthetic_climate_field(channels: int, size: int, seed: int = 7) -> np.ndarray:
+    """Smooth random fields plus localized vortex anomalies (fake TC/ARs)."""
+    rng = np.random.default_rng(seed)
+    yy, xx = np.mgrid[0:size, 0:size].astype(np.float32)
+    field = np.zeros((1, channels, size, size), np.float32)
+    # Large-scale smooth structure: sums of low-frequency waves.
+    for c in range(channels):
+        for _ in range(4):
+            fx, fy = rng.uniform(0.5, 3.0, 2)
+            phase = rng.uniform(0, 2 * np.pi, 2)
+            field[0, c] += np.sin(2 * np.pi * fx * xx / size + phase[0]) * \
+                np.cos(2 * np.pi * fy * yy / size + phase[1])
+    # Two compact vortex anomalies (what the TC/AR classes key on).
+    for cx, cy, amp in ((size * 0.3, size * 0.25, 4.0), (size * 0.7, size * 0.7, -4.0)):
+        r2 = (xx - cx) ** 2 + (yy - cy) ** 2
+        field[0] += amp * np.exp(-r2 / (2 * (size * 0.06) ** 2))
+    field += 0.05 * rng.standard_normal(field.shape).astype(np.float32)
+    return field
+
+
+def main() -> None:
+    graph = build("deepcam", reduced=True)
+    spec = graph.input_nodes[0].spec
+    x = synthetic_climate_field(spec.channels, spec.spatial[0])
+
+    engine = BrickDLEngine(graph)
+    plan = engine.compile()
+    print(f"DeepCAM plan: {plan.merged_count} merged subgraphs of {len(plan.subgraphs)}")
+    result = engine.run(x)
+
+    # Verify against naive execution, then show the segmentation.
+    ref = ReferenceExecutor(graph).run(x)["head/softmax"]
+    probs = result.outputs["head/softmax"]
+    assert np.abs(probs - ref).max() < 1e-3
+
+    classes = probs.argmax(axis=1)[0]
+    print(f"per-pixel classes: shape={classes.shape}, "
+          f"histogram={np.bincount(classes.ravel(), minlength=probs.shape[1]).tolist()}")
+    step = max(1, classes.shape[0] // 24)
+    glyphs = np.array(list(".oO#%"))[:probs.shape[1]]
+    print("\nclass map (downsampled):")
+    for row in classes[::step]:
+        print("  " + "".join(glyphs[row[::step]]))
+
+    m = result.metrics
+    print(f"\nsimulated metrics: {m.total_time * 1e3:.2f} ms, "
+          f"DRAM txns={m.memory.dram_txns}, atomics={m.atomics.total}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""A tour of BrickDL's analysis machinery and microbenchmarks.
+
+Walks through the quantities the paper's section 3-4 are built on:
+
+1. the calibrated T_atomic / T_brick microbenchmarks (section 4.3),
+2. the Fig. 4 halo telescoping for a conv chain,
+3. the brick-size model's choices across problem sizes (section 3.3.3),
+4. a padded-vs-memoized head-to-head on a small 3-D conv proxy.
+
+    python examples/microbenchmark_tour.py
+"""
+
+from repro.bench.harness import run_brickdl, run_conventional
+from repro.bench.microbench import atomic_microbenchmark, compute_microbenchmark
+from repro.bench.proxies import conv_chain_3d
+from repro.bench.reporting import format_breakdowns, format_table
+from repro.baselines import CudnnBaseline
+from repro.core.halo import chain_padded_sizes, padding_growth
+from repro.core.perfmodel import choose_brick_size
+from repro.core.plan import Strategy
+from repro.graph.traversal import subgraph_view
+
+
+def main() -> None:
+    # 1. Calibrated microbenchmarks.
+    atomic = atomic_microbenchmark()
+    brick = compute_microbenchmark()
+    print(f"T_atomic = {atomic.time_per_atomic_ns:.2f} ns (paper: 87.45 ns)")
+    print(f"T_brick  = {brick.time_per_call_us:.2f} us for 8^3 brick / 3^3 filter (paper: 6.72 us)\n")
+
+    # 2. Halo telescoping (paper Fig. 4): per-layer padded brick sizes.
+    chain = conv_chain_3d(layers=3, size=40, channels=8)
+    view = subgraph_view(chain, [n.node_id for n in chain.nodes if not n.is_input])
+    print("Fig. 4 halo telescoping for a 3-layer 3x3x3 conv chain (brick 8^3):")
+    for name, shape in chain_padded_sizes(view, view.exit_ids[-1], (8, 8, 8)):
+        print(f"  {name:8s} needs {'x'.join(map(str, shape))}")
+    delta = padding_growth(view, None, (8, 8, 8))
+    print(f"  => padding data growth delta = {delta:.1%} "
+          f"({'memoized' if delta > 0.15 else 'padded'} per the 15% rule)\n")
+
+    # 3. Brick-size model across problem sizes.
+    rows = []
+    for extents in ((56, 56), (224, 224), (112, 112, 112), (224, 224, 224), (7, 7)):
+        d = choose_brick_size(extents, kernel_extent=3)
+        rows.append(["x".join(map(str, extents)), d.brick, f"{d.rho:.0f}",
+                     "cuDNN fallback" if d.fallback else "merged"])
+    print(format_table(["layer", "brick", "rho", "decision"], rows,
+                       title="Brick-size model (tau = 4096)"))
+    print()
+
+    # 4. Padded vs memoized on a small proxy (profile mode).
+    proxy = lambda: conv_chain_3d(layers=3, size=48)
+    results = [run_conventional(CudnnBaseline, proxy())]
+    for strategy in (Strategy.PADDED, Strategy.MEMOIZED):
+        row, _ = run_brickdl(proxy(), strategy=strategy, brick=8,
+                             layer_schedule=(3,), label=strategy.value)
+        results.append(row)
+    print(format_breakdowns(results, title="3-layer 48^3 proxy (times in ms)",
+                            relative_to=results[0]))
+
+
+if __name__ == "__main__":
+    main()

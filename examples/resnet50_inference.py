@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""ResNet-50 inference under all four execution systems (a one-model slice
+of the paper's Fig. 7).
+
+    python examples/resnet50_inference.py [image_size]
+
+The default 160x160 keeps the simulation quick; pass 224 for paper scale.
+Runs in profile mode (access streams + cost model, no NumPy arithmetic), so
+full-channel ResNet-50 is cheap to explore.
+"""
+
+import sys
+
+from repro.baselines import CudnnBaseline, TorchScriptBaseline, XlaBaseline
+from repro.bench.harness import run_brickdl, run_conventional
+from repro.bench.reporting import format_breakdowns
+from repro.models import build
+
+
+def main() -> None:
+    image_size = int(sys.argv[1]) if len(sys.argv) > 1 else 160
+
+    rows = [run_conventional(CudnnBaseline, build("resnet50", image_size=image_size))]
+    brick_row, plan = run_brickdl(build("resnet50", image_size=image_size), label="brickdl")
+    rows.append(brick_row)
+    rows.append(run_conventional(TorchScriptBaseline, build("resnet50", image_size=image_size)))
+    rows.append(run_conventional(XlaBaseline, build("resnet50", image_size=image_size)))
+
+    print(f"BrickDL plan for ResNet-50 @ {image_size}x{image_size}:")
+    merged = [s for s in plan.subgraphs if s.is_merged]
+    for s in merged:
+        print("  " + s.describe())
+    print(f"  (+ {len(plan.subgraphs) - len(merged)} vendor-library subgraphs)\n")
+
+    print(format_breakdowns(rows, title=f"ResNet-50 @ {image_size} (times in ms)",
+                            relative_to=rows[0]))
+    base, brick = rows[0], rows[1]
+    print(f"\nBrickDL vs cuDNN: {(1 - brick.total / base.total) * +100:+.1f}% execution time, "
+          f"{(1 - brick.dram_txns / base.dram_txns) * 100:+.1f}% DRAM transactions")
+
+
+if __name__ == "__main__":
+    main()

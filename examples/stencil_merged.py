@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Merged execution for HPC structured-grid codes (paper section 6).
+
+Runs (a) Jacobi heat-equation time stepping and (b) a two-level multigrid
+V-cycle -- both expressed as fixed-weight graphs -- under the naive
+executor, the tiled baseline and all three merged strategies, verifying
+bit-level agreement and comparing data movement.
+
+    python examples/stencil_merged.py
+"""
+
+import numpy as np
+
+from repro.baselines import CudnnBaseline
+from repro.bench.harness import run_brickdl, run_conventional
+from repro.bench.reporting import format_breakdowns
+from repro.core import BrickDLEngine, ReferenceExecutor
+from repro.core.plan import Strategy
+from repro.stencil import build_heat_graph, build_vcycle_graph, reference_heat, reference_vcycle
+from repro.stencil.multigrid import _apply_a
+
+
+def heat_demo(steps: int = 6, size: int = 96) -> None:
+    print(f"=== heat equation: {steps} Jacobi steps on a {size}x{size} grid ===")
+    rng = np.random.default_rng(0)
+    u0 = rng.standard_normal((size, size)).astype(np.float32)
+    expected = reference_heat(u0, steps)
+
+    for strategy in (Strategy.PADDED, Strategy.MEMOIZED, Strategy.WAVEFRONT):
+        graph = build_heat_graph(steps, size)
+        engine = BrickDLEngine(graph, strategy_override=strategy, brick_override=8,
+                               layer_schedule=(steps,))
+        res = engine.run(u0[None, None])
+        out = list(res.outputs.values())[0][0, 0]
+        err = np.abs(out - expected).max()
+        m = res.metrics
+        print(f"  {strategy.value:9s} max|err|={err:.2e}  dram_txns={m.memory.dram_txns:8d}  "
+              f"atomics={m.atomics.total:6d}  syncs~waves" )
+    base = run_conventional(CudnnBaseline, build_heat_graph(steps, size))
+    print(f"  {'baseline':9s} (tiled, per-step sync)      dram_txns={base.dram_txns:8d}")
+    print(f"  smoothing check: std {u0.std():.3f} -> {expected.std():.3f}\n")
+
+
+def vcycle_demo(size: int = 64) -> None:
+    print(f"=== multigrid V-cycle on a {size}x{size} Poisson problem ===")
+    rng = np.random.default_rng(1)
+    f = rng.standard_normal((size, size)).astype(np.float32)
+    u0 = np.zeros_like(f)
+    x = np.stack([u0, f])[None]
+
+    expected = reference_vcycle(u0, f)
+    graph = build_vcycle_graph(size)
+    res = BrickDLEngine(graph).run(x)
+    err = np.abs(res.outputs["u_out"][0, 0] - expected).max()
+    print(f"  merged V-cycle max|err| vs NumPy reference: {err:.2e}")
+
+    r0 = np.abs(f - _apply_a(u0)).max()
+    u = u0
+    for cycle in range(1, 4):
+        u = ReferenceExecutor(build_vcycle_graph(size)).run(np.stack([u, f])[None])["u_out"][0, 0]
+        r = np.abs(f - _apply_a(u)).max()
+        print(f"  after V-cycle {cycle}: residual {r0:.3f} -> {r:.3f}")
+
+    rows = [run_conventional(CudnnBaseline, build_vcycle_graph(size))]
+    row, _ = run_brickdl(build_vcycle_graph(size), label="brickdl")
+    rows.append(row)
+    print()
+    print(format_breakdowns(rows, title="V-cycle execution (times in ms)", relative_to=rows[0]))
+
+
+if __name__ == "__main__":
+    heat_demo()
+    vcycle_demo()

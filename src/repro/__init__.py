@@ -1,0 +1,54 @@
+"""repro -- a from-scratch reproduction of BrickDL (ICPP 2024).
+
+BrickDL: Graph-Level Optimizations for DNNs with Fine-Grained Data Blocking
+on GPUs (Lakshminarasimhan, Hall, Williams, Antepara).
+
+The package provides:
+
+* a DNN graph IR and NumPy reference kernels (:mod:`repro.graph`,
+  :mod:`repro.kernels`),
+* the brick data layout and both merged-execution strategies
+  (:mod:`repro.core`),
+* a simulated A100 memory hierarchy supplying the paper's hardware
+  counters (:mod:`repro.gpusim`),
+* the cuDNN / TorchScript / XLA baseline systems (:mod:`repro.baselines`),
+* the seven evaluated CNNs (:mod:`repro.models`), and
+* the benchmark harness regenerating every evaluation figure
+  (:mod:`repro.bench`).
+
+Quickstart::
+
+    from repro import BrickDLEngine, GraphBuilder, TensorSpec
+
+    b = GraphBuilder("net", TensorSpec(1, 3, (64, 64)))
+    b.conv_bn_relu(16, 3)
+    b.conv_bn_relu(16, 3)
+    b.classifier(10)
+    result = BrickDLEngine(b.graph).run(x)
+"""
+
+from repro.core.engine import BrickDLEngine, EngineResult
+from repro.core.plan import ExecutionPlan, Strategy, SubgraphPlan
+from repro.core.reference import ReferenceExecutor
+from repro.graph.builder import GraphBuilder
+from repro.graph.ir import Graph, Node
+from repro.graph.tensorspec import TensorSpec
+from repro.gpusim.spec import A100, GPUSpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BrickDLEngine",
+    "EngineResult",
+    "ExecutionPlan",
+    "Strategy",
+    "SubgraphPlan",
+    "ReferenceExecutor",
+    "GraphBuilder",
+    "Graph",
+    "Node",
+    "TensorSpec",
+    "A100",
+    "GPUSpec",
+    "__version__",
+]

@@ -1,0 +1,31 @@
+"""Baseline execution systems (section 4.2).
+
+* :mod:`repro.baselines.cudnn` -- the paper's primary baseline: per-operator
+  *tiled* cuDNN calls on conventional row-major activations, with cuDNN's
+  conv+pointwise fusion enabled.
+* :mod:`repro.baselines.torchscript` / :mod:`repro.baselines.xla` -- proxies
+  for the TorchScript-JIT and TensorFlow-XLA optimized graph executors:
+  whole-layer kernels (SM-wide slabs), operator fusion, fewer barriers.
+  They run the same graphs on the same simulated substrate, differing from
+  BrickDL exactly on the axis the paper isolates (no brick layout, no merged
+  execution).
+* :mod:`repro.baselines.fusion` -- the shared operator-fusion pass.
+* :mod:`repro.baselines.tiled` -- the shared tiled/slabbed op executor (also
+  used by the BrickDL engine's vendor-library fallback for tiny layers).
+"""
+
+from repro.baselines.fusion import FusionGroup, fuse_graph
+from repro.baselines.conventional import BaselineResult, ConventionalExecutor
+from repro.baselines.cudnn import CudnnBaseline
+from repro.baselines.torchscript import TorchScriptBaseline
+from repro.baselines.xla import XlaBaseline
+
+__all__ = [
+    "FusionGroup",
+    "fuse_graph",
+    "BaselineResult",
+    "ConventionalExecutor",
+    "CudnnBaseline",
+    "TorchScriptBaseline",
+    "XlaBaseline",
+]

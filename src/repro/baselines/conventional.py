@@ -1,0 +1,179 @@
+"""Shared runner for conventional (row-major, layer-by-layer) baselines.
+
+All three baselines of section 4.2 execute the same fusion-grouped graph
+layer by layer on dense row-major activations; they differ only in kernel
+granularity (small tiles vs SM-wide slabs), fusion, and synchronization
+cadence.  :class:`ConventionalExecutor` factors that shape; the concrete
+baselines are thin configurations of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Mapping
+
+import numpy as np
+
+from repro.baselines.fusion import FusionGroup, fuse_graph
+from repro.baselines.tiled import (
+    adaptive_tiles,
+    compute_group_values,
+    run_group_global,
+    run_group_tiled,
+    slab_tiles,
+)
+from repro.core.handles import DenseHandle
+from repro.errors import ExecutionError
+from repro.graph.ir import Graph
+from repro.graph.regions import Region
+from repro.gpusim.device import Device, RunMetrics
+from repro.gpusim.spec import A100, GPUSpec
+
+__all__ = ["BaselineResult", "ConventionalExecutor"]
+
+TilePolicy = Callable[[tuple[int, ...], GPUSpec], Iterator[Region]]
+
+
+@dataclass
+class BaselineResult:
+    """Outputs and simulator metrics of one baseline run."""
+
+    name: str
+    outputs: dict[str, np.ndarray] | None
+    metrics: RunMetrics
+    num_groups: int
+
+    @property
+    def total_time(self) -> float:
+        return self.metrics.total_time
+
+
+class ConventionalExecutor:
+    """Layer-by-layer executor over dense activations.
+
+    Parameters
+    ----------
+    graph:
+        The model to execute.
+    spec:
+        Simulated device.
+    fuse:
+        Enable conv+pointwise operator fusion (all paper baselines have it).
+    tile:
+        Spatial tile side for compute kernels; ``None`` selects SM-wide
+        slabs (whole-layer kernels).
+    sync_every:
+        Device synchronization cadence in fusion groups (1 = barrier after
+        every operator group, like sequential cuDNN calls).
+    """
+
+    name = "conventional"
+
+    def __init__(
+        self,
+        graph: Graph,
+        spec: GPUSpec = A100,
+        fuse: bool = True,
+        tile: int | None = 32,
+        sync_every: int = 1,
+    ) -> None:
+        graph.validate()
+        self.graph = graph
+        self.spec = spec
+        self.tile = tile
+        self.sync_every = max(1, sync_every)
+        self.groups = fuse_graph(graph, enabled=fuse)
+
+    def _tiles(self, extents: tuple[int, ...]) -> Iterator[Region]:
+        if self.tile is None:
+            return slab_tiles(extents, self.spec.num_sms)
+        return adaptive_tiles(extents, self.tile, self.spec.num_sms)
+
+    def run(
+        self,
+        inputs: Mapping[str, np.ndarray] | np.ndarray | None = None,
+        functional: bool = True,
+        device: Device | None = None,
+    ) -> BaselineResult:
+        graph = self.graph
+        device = device if device is not None else Device(self.spec)
+        if functional:
+            graph.init_weights()
+
+        values: dict[int, np.ndarray] = {}
+        handles: dict[int, DenseHandle] = {}
+        for node in graph.input_nodes:
+            buf = device.allocate(f"{graph.name}/{node.name}", node.spec.nbytes)
+            data = None
+            if functional:
+                data = self._bind_input(node, inputs)
+                values[node.node_id] = data
+            handles[node.node_id] = DenseHandle(node.spec, buf, data)
+
+        weight_buffers = self._allocate_weights(device)
+
+        for gi, group in enumerate(self.groups):
+            out_node = group.output
+            out_buf = device.allocate(f"{graph.name}/{out_node.name}", out_node.spec.nbytes)
+            out_data = None
+            if functional:
+                out_data = compute_group_values(graph, group, values)
+                values[out_node.node_id] = out_data
+                # Fused intermediates are never materialized; the fusion rule
+                # guarantees they have no consumers outside the group.
+            out_handle = DenseHandle(out_node.spec, out_buf, out_data)
+
+            for node in group.nodes:
+                wb = weight_buffers.get(node.node_id)
+                if wb is not None:
+                    device.memory.pin(wb)
+
+            if group.primary.op.is_global or not out_node.spec.spatial:
+                run_group_global(device, graph, group, handles, out_handle, weight_buffers, label=self.name)
+            else:
+                tiles = self._tiles(out_node.spec.spatial)
+                run_group_tiled(device, graph, group, handles, out_handle, tiles, weight_buffers, label=self.name)
+
+            for node in group.nodes:
+                wb = weight_buffers.get(node.node_id)
+                if wb is not None:
+                    device.memory.unpin(wb)
+
+            for node in group.nodes:
+                handles[node.node_id] = out_handle  # fused nodes alias the output
+            if (gi + 1) % self.sync_every == 0 or gi == len(self.groups) - 1:
+                device.synchronize()
+
+        outputs = None
+        if functional:
+            outputs = {n.name: values[n.node_id] for n in graph.output_nodes}
+        return BaselineResult(
+            name=self.name,
+            outputs=outputs,
+            metrics=device.finish(),
+            num_groups=len(self.groups),
+        )
+
+    # -- helpers ---------------------------------------------------------------
+    def _bind_input(self, node, inputs) -> np.ndarray:
+        if inputs is None:
+            raise ExecutionError("functional run requires input arrays")
+        if isinstance(inputs, np.ndarray):
+            arr = inputs
+        else:
+            arr = inputs[node.name]
+        arr = np.asarray(arr, dtype=node.spec.dtype)
+        if arr.shape != node.spec.shape:
+            raise ExecutionError(f"input {node.name!r}: expected {node.spec.shape}, got {arr.shape}")
+        return arr
+
+    def _allocate_weights(self, device: Device):
+        buffers = {}
+        for node in self.graph.nodes:
+            if node.is_input:
+                continue
+            input_specs = [self.graph.node(i).spec for i in node.inputs]
+            nbytes = node.op.weight_bytes(input_specs)
+            if nbytes:
+                buffers[node.node_id] = device.allocate(f"{self.graph.name}/{node.name}/w", nbytes)
+        return buffers

@@ -1,0 +1,81 @@
+"""Operator fusion pass shared by the conventional baselines.
+
+Implements the fusion the paper's baselines have: a *primary* operator
+(conv, pool, dense, ...) absorbs the chain of pointwise operators that
+immediately follows it (bias, batch-norm, activations, residual adds whose
+other operand is already materialized) into one kernel, eliminating the
+intermediate activation round-trips for those ops.  This is cuDNN's backend
+fused-operation-graph capability and the core of what TorchScript/XLA do for
+these CNNs; what none of them can fuse is a chain of *convolutions* -- the
+gap BrickDL's merged execution targets (section 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graph.ir import Graph, Node
+
+__all__ = ["FusionGroup", "fuse_graph"]
+
+
+@dataclass
+class FusionGroup:
+    """A primary op plus the pointwise chain fused onto it."""
+
+    primary: Node
+    fused: list[Node] = field(default_factory=list)
+
+    @property
+    def nodes(self) -> list[Node]:
+        return [self.primary, *self.fused]
+
+    @property
+    def output(self) -> Node:
+        return self.fused[-1] if self.fused else self.primary
+
+    @property
+    def num_kernels(self) -> int:
+        """Kernel launches this group costs (one: that is the point)."""
+        return 1
+
+    def describe(self) -> str:
+        ops = "+".join(n.op.kind for n in self.nodes)
+        return f"[{self.primary.name}: {ops}]"
+
+
+def fuse_graph(graph: Graph, enabled: bool = True) -> list[FusionGroup]:
+    """Partition all non-input nodes into fusion groups, in execution order.
+
+    A follower is absorbed when it is pointwise, it is the *sole* consumer
+    chain of the group's current output, and every *other* input it has was
+    produced before this group's primary (so execution order stays valid for
+    residual adds).
+    """
+    groups: list[FusionGroup] = []
+    absorbed: set[int] = set()
+    for node in graph.nodes:
+        if node.is_input or node.node_id in absorbed:
+            continue
+        group = FusionGroup(primary=node)
+        if enabled:
+            _absorb_chain(graph, group, absorbed)
+        groups.append(group)
+    return groups
+
+
+def _absorb_chain(graph: Graph, group: FusionGroup, absorbed: set[int]) -> None:
+    current = group.primary
+    while True:
+        consumers = graph.consumers(current)
+        if len(consumers) != 1:
+            return
+        nxt = graph.node(consumers[0])
+        if not nxt.op.is_pointwise:
+            return
+        others = [i for i in nxt.inputs if i != current.node_id]
+        if any(i >= group.primary.node_id for i in others):
+            return
+        group.fused.append(nxt)
+        absorbed.add(nxt.node_id)
+        current = nxt

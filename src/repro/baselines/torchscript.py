@@ -1,0 +1,26 @@
+"""TorchScript (PyTorch JIT) proxy baseline (section 4.2).
+
+Models the execution profile of a TorchScript-optimized inference graph:
+whole-layer kernels (each operator launched once, spanning the SMs as
+slabs), graph-level operator fusion of pointwise chains, and a
+kernel-launch barrier per operator group.  Runs the identical graph on the
+identical simulated device, differing from BrickDL precisely in layout
+(row-major) and scheduling (layer-at-a-time) -- the axis Fig. 7 compares.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.conventional import ConventionalExecutor
+from repro.graph.ir import Graph
+from repro.gpusim.spec import A100, GPUSpec
+
+__all__ = ["TorchScriptBaseline"]
+
+
+class TorchScriptBaseline(ConventionalExecutor):
+    """Whole-layer kernels + pointwise fusion, one barrier per group."""
+
+    name = "torchscript"
+
+    def __init__(self, graph: Graph, spec: GPUSpec = A100) -> None:
+        super().__init__(graph, spec=spec, fuse=True, tile=None, sync_every=1)

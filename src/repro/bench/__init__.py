@@ -1,0 +1,28 @@
+"""Benchmark harness reproducing the paper's evaluation (section 4).
+
+* :mod:`repro.bench.reporting` -- result rows and ASCII tables,
+* :mod:`repro.bench.proxies` -- the 6-layer and 3-layer 3-D conv proxy
+  graphs of section 4.5,
+* :mod:`repro.bench.microbench` -- the atomic-cost and brick-compute-cost
+  microbenchmarks of section 4.3,
+* :mod:`repro.bench.harness` -- runners that execute a graph under every
+  system/strategy and collect breakdown rows,
+* :mod:`repro.bench.figures` -- one driver per evaluation figure
+  (Fig. 7 end-to-end, Fig. 8/9 ResNet-50 case study, Fig. 10 merge-depth
+  sweep, Fig. 11 brick-size sweep) plus the design ablations.
+"""
+
+from repro.bench.reporting import BreakdownRow, format_table
+from repro.bench.harness import run_brickdl, run_conventional, scale_preset
+from repro.bench import figures, microbench, proxies
+
+__all__ = [
+    "BreakdownRow",
+    "format_table",
+    "run_brickdl",
+    "run_conventional",
+    "scale_preset",
+    "figures",
+    "microbench",
+    "proxies",
+]

@@ -1,0 +1,104 @@
+"""Benchmark runners: execute a graph under each system, collect rows.
+
+All benchmark executions run in *profile* mode (access streams and the cost
+model, no NumPy arithmetic), so paper-scale graphs are tractable; numerical
+correctness is covered separately by the functional test suite.
+
+Scale presets
+-------------
+The paper's microbenchmark volumes (``224^3 x 64`` activations) are large
+for a pure-Python discrete simulation, so the harness supports three scales
+selected by the ``BRICKDL_SCALE`` environment variable:
+
+* ``small`` (default) -- reduced spatial extents; every comparison and
+  crossover of the paper is still exercised, in seconds.
+* ``half`` -- the paper's 6-layer proxy size (112^3); minutes.
+* ``full`` -- the paper's exact sizes everywhere; tens of minutes.
+
+EXPERIMENTS.md records which scale produced the reported numbers.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from dataclasses import replace
+
+from repro.bench.reporting import BreakdownRow
+from repro.core.engine import BrickDLEngine
+from repro.core.plan import ExecutionPlan, Strategy
+from repro.core.perfmodel import DEFAULT_CONFIG, PerfModelConfig
+from repro.baselines.conventional import ConventionalExecutor
+from repro.graph.ir import Graph
+from repro.gpusim.device import Device
+from repro.gpusim.spec import A100, GPUSpec
+
+__all__ = ["scale_preset", "run_brickdl", "run_conventional", "adapt_sectors"]
+
+_SCALES = ("small", "half", "full")
+
+
+def scale_preset() -> str:
+    """Benchmark scale from ``BRICKDL_SCALE`` (small | half | full)."""
+    scale = os.environ.get("BRICKDL_SCALE", "small").lower()
+    if scale not in _SCALES:
+        raise ValueError(f"BRICKDL_SCALE must be one of {_SCALES}, got {scale!r}")
+    return scale
+
+
+def adapt_sectors(spec: GPUSpec, plan: ExecutionPlan) -> GPUSpec:
+    """Match cache-residency tracking granularity to the brick size.
+
+    Bricks are the unit of data movement in merged execution; tracking L2
+    residency at a fraction of a brick wastes simulation time without
+    changing any transaction count (those are byte-derived).  Clamped so
+    degenerate plans cannot produce absurd sectors.
+    """
+    brick_bytes = []
+    for sub in plan.subgraphs:
+        if not sub.is_merged:
+            continue
+        channels = max(sub.subgraph.graph.node(n).spec.channels for n in sub.subgraph.node_ids)
+        brick_bytes.append(channels * math.prod(sub.brick_shape) * 4)
+    if not brick_bytes:
+        return spec
+    sector = min(max(min(brick_bytes), spec.l2_sector_bytes), 256 * 1024)
+    return replace(spec, l2_sector_bytes=sector, l1_sector_bytes=min(sector, 16 * 1024))
+
+
+def run_brickdl(
+    graph: Graph,
+    spec: GPUSpec = A100,
+    config: PerfModelConfig = DEFAULT_CONFIG,
+    strategy: Strategy | None = None,
+    brick: int | None = None,
+    layer_schedule: tuple[int, ...] | None = None,
+    label: str | None = None,
+) -> tuple[BreakdownRow, ExecutionPlan]:
+    """Profile one BrickDL configuration; returns (row, plan)."""
+    engine = BrickDLEngine(
+        graph,
+        spec=spec,
+        config=config,
+        strategy_override=strategy,
+        brick_override=brick,
+        layer_schedule=layer_schedule,
+    )
+    plan = engine.compile()
+    device = Device(adapt_sectors(spec, plan))
+    result = engine.run(inputs=None, functional=False, device=device, plan=plan)
+    name = label or (f"brickdl/{strategy.value}" if strategy else "brickdl")
+    return BreakdownRow.from_metrics(name, result.metrics), plan
+
+
+def run_conventional(
+    executor_cls: type[ConventionalExecutor],
+    graph: Graph,
+    spec: GPUSpec = A100,
+    label: str | None = None,
+    **kwargs,
+) -> BreakdownRow:
+    """Profile one conventional baseline."""
+    executor = executor_cls(graph, spec=spec, **kwargs)
+    result = executor.run(inputs=None, functional=False)
+    return BreakdownRow.from_metrics(label or executor.name, result.metrics)

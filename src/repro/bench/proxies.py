@@ -1,0 +1,48 @@
+"""CNN proxy microbenchmark graphs (section 4.5).
+
+The paper characterizes merged execution with two synthetic proxies:
+
+* a **six-layer** chain of 3-D convolutions whose first layer is a
+  ``112x112x112`` convolution with 64 channels (stride 1, padding 0,
+  dilation 1), "and the subsequent five layers are computed accordingly"
+  (each unpadded 3^3 convolution shrinks the volume by 2 per dim);
+* a **three-layer** chain starting from ``224x224x224`` with 64 channels,
+  used for the brick-size sweep.
+
+Both builders take a ``size`` parameter so the harness can run reduced-scale
+sweeps (the default benchmark scale; see ``repro.bench.harness.scale_preset``)
+without changing any structure.
+"""
+
+from __future__ import annotations
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.ir import Graph
+from repro.graph.tensorspec import TensorSpec
+
+__all__ = ["conv_chain_3d", "six_layer_proxy", "three_layer_proxy"]
+
+
+def conv_chain_3d(
+    layers: int,
+    size: int,
+    channels: int = 64,
+    kernel: int = 3,
+    in_channels: int = 64,
+    batch: int = 1,
+) -> Graph:
+    """A chain of ``layers`` unpadded 3-D convolutions."""
+    b = GraphBuilder(f"conv3d_chain_{layers}x{size}", TensorSpec(batch, in_channels, (size,) * 3))
+    for i in range(1, layers + 1):
+        b.conv(channels, kernel, padding=0, bias=False, name=f"conv{i}")
+    return b.finish()
+
+
+def six_layer_proxy(size: int = 112, channels: int = 64) -> Graph:
+    """The paper's six-layer merge-depth proxy (Fig. 10)."""
+    return conv_chain_3d(layers=6, size=size, channels=channels)
+
+
+def three_layer_proxy(size: int = 224, channels: int = 64) -> Graph:
+    """The paper's three-layer brick-size proxy (Fig. 11)."""
+    return conv_chain_3d(layers=3, size=size, channels=channels)

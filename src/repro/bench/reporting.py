@@ -1,0 +1,112 @@
+"""Result rows and plain-text tables for the benchmark harness.
+
+The paper's figures are stacked bar charts; the harness prints the same
+data as tables: one :class:`BreakdownRow` per bar, with the memory-side
+(DRAM, idle) and compute-side (compute, atomics, other) components and the
+transaction counters of Fig. 9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.gpusim.device import RunMetrics
+
+__all__ = ["BreakdownRow", "format_table", "format_breakdowns"]
+
+
+@dataclass(frozen=True)
+class BreakdownRow:
+    """One configuration's result (one bar of a paper figure)."""
+
+    label: str
+    total: float
+    dram: float
+    idle: float
+    compute: float
+    atomics_compulsory: float
+    atomics_conflict: float
+    other: float
+    l1_txns: int
+    l2_txns: int
+    dram_txns: int
+    num_tasks: int
+    atomics_compulsory_count: int
+    atomics_conflict_count: int
+
+    @classmethod
+    def from_metrics(cls, label: str, metrics: RunMetrics) -> "BreakdownRow":
+        t = metrics.time
+        return cls(
+            label=label,
+            total=t.total,
+            dram=t.dram,
+            idle=t.idle,
+            compute=t.compute,
+            atomics_compulsory=t.atomics_compulsory,
+            atomics_conflict=t.atomics_conflict,
+            other=t.other,
+            l1_txns=metrics.memory.l1_txns,
+            l2_txns=metrics.memory.l2_txns,
+            dram_txns=metrics.memory.dram_txns,
+            num_tasks=metrics.num_tasks,
+            atomics_compulsory_count=metrics.atomics.compulsory,
+            atomics_conflict_count=metrics.atomics.conflict,
+        )
+
+    def normalized_to(self, baseline: "BreakdownRow") -> dict[str, float]:
+        """Ratios against a baseline row (the paper's normalized plots)."""
+        def ratio(a: float, b: float) -> float:
+            return a / b if b else float("nan")
+
+        return {
+            "total": ratio(self.total, baseline.total),
+            "dram_time": ratio(self.dram, baseline.dram),
+            "l1_txns": ratio(self.l1_txns, baseline.l1_txns),
+            "l2_txns": ratio(self.l2_txns, baseline.l2_txns),
+            "dram_txns": ratio(self.dram_txns, baseline.dram_txns),
+        }
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = "") -> str:
+    """Fixed-width ASCII table."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    sep = "-+-".join("-" * w for w in widths)
+    out = []
+    if title:
+        out.append(title)
+    out.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    out.append(sep)
+    for row in cells:
+        out.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)
+
+
+def format_breakdowns(rows: Sequence[BreakdownRow], title: str = "", relative_to: BreakdownRow | None = None) -> str:
+    """The paper's breakdown-bar data as a table (times in ms)."""
+    headers = ["config", "total", "dram", "idle", "compute", "atomics(c)", "atomics(x)", "other",
+               "L1 txn", "L2 txn", "DRAM txn", "tasks"]
+    if relative_to is not None:
+        headers.insert(1, "vs base")
+    table_rows = []
+    for r in rows:
+        row = [r.label,
+               f"{r.total * 1e3:.3f}", f"{r.dram * 1e3:.3f}", f"{r.idle * 1e3:.3f}",
+               f"{r.compute * 1e3:.3f}", f"{r.atomics_compulsory * 1e3:.3f}",
+               f"{r.atomics_conflict * 1e3:.3f}", f"{r.other * 1e3:.3f}",
+               r.l1_txns, r.l2_txns, r.dram_txns, r.num_tasks]
+        if relative_to is not None:
+            row.insert(1, f"{r.total / relative_to.total:.3f}")
+        table_rows.append(row)
+    return format_table(headers, table_rows, title=title)
+
+
+def _fmt(c: object) -> str:
+    if isinstance(c, float):
+        return f"{c:.4g}"
+    return str(c)

@@ -1,0 +1,171 @@
+"""Command-line interface: inspect models, plans, runs, and experiments.
+
+Usage::
+
+    python -m repro.cli models
+    python -m repro.cli plan resnet50 --image-size 224
+    python -m repro.cli run darknet53 --strategy memoized --compare
+    python -m repro.cli tune vgg16 --image-size 96
+    python -m repro.cli fig 10            # run an evaluation figure driver
+    python -m repro.cli microbench
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.gpusim.spec import A100
+
+
+def _build_model(args) -> "Graph":
+    from repro.models import zoo
+
+    kwargs = {}
+    if args.model == "resnet3d34":
+        if args.image_size:
+            kwargs["clip"] = (max(4, args.image_size // 14), args.image_size, args.image_size)
+    elif args.image_size:
+        kwargs["image_size"] = args.image_size
+    if getattr(args, "reduced", False):
+        return zoo.build(args.model, reduced=True)
+    return zoo.build(args.model, **kwargs)
+
+
+def cmd_models(args) -> int:
+    from repro.models import MODELS, build
+
+    print(f"{'model':14s} {'nodes':>6s} {'GFLOP':>8s} {'act MB':>8s} {'params MB':>10s}")
+    for name in MODELS:
+        g = build(name)
+        g.init_weights()
+        print(f"{name:14s} {len(g):6d} {g.total_flops() / 1e9:8.2f} "
+              f"{g.activation_bytes() / 1e6:8.1f} {g.weight_bytes() / 1e6:10.1f}")
+    return 0
+
+
+def cmd_plan(args) -> int:
+    from repro.core.engine import BrickDLEngine
+
+    graph = _build_model(args)
+    engine = BrickDLEngine(graph, strategy_override=_strategy(args), brick_override=args.brick)
+    print(engine.compile().summary())
+    return 0
+
+
+def cmd_run(args) -> int:
+    from repro.bench.harness import adapt_sectors
+    from repro.core.engine import BrickDLEngine
+    from repro.gpusim.device import Device
+    from repro.gpusim.report import profile_report
+
+    graph = _build_model(args)
+    engine = BrickDLEngine(graph, strategy_override=_strategy(args), brick_override=args.brick)
+    plan = engine.compile()
+    device = Device(adapt_sectors(A100, plan))
+    result = engine.run(inputs=None, functional=False, device=device, plan=plan)
+    print(profile_report(result.metrics, A100, title=f"{args.model} / brickdl"))
+    if args.per_subgraph:
+        print()
+        print(result.attribution_table())
+
+    if args.compare:
+        from repro.baselines import CudnnBaseline
+
+        base = CudnnBaseline(_build_model(args)).run(functional=False)
+        print()
+        print(profile_report(base.metrics, A100, title=f"{args.model} / cudnn baseline"))
+        ratio = result.metrics.total_time / base.metrics.total_time
+        print(f"\nbrickdl vs cudnn: {ratio:.3f}x total time "
+              f"({(1 - ratio) * 100:+.1f}%), "
+              f"{(1 - result.metrics.memory.dram_txns / base.metrics.memory.dram_txns) * 100:+.1f}% DRAM txns")
+    return 0
+
+
+def cmd_tune(args) -> int:
+    from repro.core.tuner import tune_plan
+
+    graph = _build_model(args)
+    _, report = tune_plan(graph)
+    print(report.summary())
+    return 0
+
+
+def cmd_fig(args) -> int:
+    from repro.bench import figures
+
+    if args.number == 7:
+        result = figures.fig7_end_to_end()
+        print(figures.fig7_summary_table(result))
+    elif args.number == 8:
+        print(figures.fig8_resnet_case_study().render())
+    elif args.number == 9:
+        print(figures.fig9_data_movement(figures.fig8_resnet_case_study()))
+    elif args.number == 10:
+        print(figures.fig10_subgraph_size().render())
+    elif args.number == 11:
+        print(figures.fig11_brick_size().render())
+    else:
+        print(f"no driver for figure {args.number} (evaluation figures are 7-11)", file=sys.stderr)
+        return 2
+    return 0
+
+
+def cmd_microbench(args) -> int:
+    from repro.bench.microbench import atomic_microbenchmark, compute_microbenchmark
+
+    a = atomic_microbenchmark()
+    c = compute_microbenchmark()
+    print(f"T_atomic = {a.time_per_atomic_ns:.2f} ns   (paper: 87.45 ns)")
+    print(f"T_brick  = {c.time_per_call_us:.2f} us   (paper: 6.72 us, 8^3 brick / 3^3 filter)")
+    return 0
+
+
+def _strategy(args):
+    from repro.core.plan import Strategy
+
+    if not getattr(args, "strategy", None):
+        return None
+    return Strategy(args.strategy)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(prog="repro", description=__doc__,
+                                formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("models", help="list the model zoo").set_defaults(fn=cmd_models)
+
+    for name, fn, help_ in (("plan", cmd_plan, "show the compiled execution plan"),
+                            ("run", cmd_run, "profile a model on the simulated A100"),
+                            ("tune", cmd_tune, "empirically tune strategies/bricks per subgraph")):
+        sp = sub.add_parser(name, help=help_)
+        sp.add_argument("model")
+        sp.add_argument("--image-size", type=int, default=None)
+        sp.add_argument("--reduced", action="store_true", help="use the test-scale config")
+        sp.add_argument("--strategy", choices=["padded", "memoized", "wavefront"], default=None)
+        sp.add_argument("--brick", type=int, default=None)
+        if name == "run":
+            sp.add_argument("--compare", action="store_true", help="also run the cuDNN baseline")
+            sp.add_argument("--per-subgraph", action="store_true",
+                            help="attribute counters to each plan subgraph")
+        sp.set_defaults(fn=fn)
+
+    fig = sub.add_parser("fig", help="run an evaluation-figure driver (7-11)")
+    fig.add_argument("number", type=int)
+    fig.set_defaults(fn=cmd_fig)
+
+    sub.add_parser("microbench", help="the section 4.3 calibration scalars").set_defaults(fn=cmd_microbench)
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:  # e.g. `repro plan ... | head`
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

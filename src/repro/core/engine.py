@@ -1,0 +1,433 @@
+"""The BrickDL engine: compile a graph, execute the plan.
+
+``compile`` runs the static analyses of section 3.3 in order: graph
+partitioning (L2-footprint + reduction/global boundaries), the brick-size
+model (``rho <= tau``), and the padded-vs-memoized strategy model
+(``delta > 15 %``), producing an :class:`~repro.core.plan.ExecutionPlan`.
+
+``run`` executes the plan on a simulated device: merged subgraphs go through
+the padded- or memoized-brick executors on brick-layout activations; global
+operators and insufficient-parallelism subgraphs fall back to the tiled
+vendor-library path (section 3.3.3).  Activations crossing representation
+boundaries are converted explicitly -- the paper's "cost of creating bricks",
+which the metrics include.
+
+Like all executors in this library, the engine runs either *functionally*
+(numerics checkable against :class:`~repro.core.reference.ReferenceExecutor`)
+or in *profile* mode (access streams and timing only).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.bricked import BrickedTensor
+from repro.core.halo import padding_growth
+from repro.core.handles import BrickedHandle, DenseHandle
+from repro.core.memoized import MemoizedBrickExecutor
+from repro.core.padded import PaddedBrickExecutor
+from repro.core.partition import merged_footprint_bytes, partition_graph
+from repro.core.perfmodel import (
+    DEFAULT_CONFIG,
+    PerfModelConfig,
+    choose_brick_size,
+    choose_strategy,
+    parallelism,
+)
+from repro.core.plan import ExecutionPlan, Strategy, SubgraphPlan
+from repro.core.reference import ReferenceExecutor
+from repro.errors import ExecutionError, PlanError
+from repro.graph.ir import Graph, Node
+from repro.graph.ops import Conv, ConvTranspose, Pool
+from repro.graph.traversal import SubgraphView
+from repro.gpusim.device import Device, RunMetrics
+from repro.gpusim.spec import A100, GPUSpec
+from repro.gpusim.trace import Task
+
+__all__ = ["BrickDLEngine", "EngineResult"]
+
+
+@dataclass
+class EngineResult:
+    """Outputs and metrics of one engine execution.
+
+    ``per_subgraph`` attributes counter growth to each plan entry (the
+    automatic analogue of the paper's ResNet-50 case study): a list aligned
+    with ``plan.subgraphs`` of dicts with ``dram_txns``, ``flops``,
+    ``atomics_*``, ``num_tasks``, ``dram_time_s`` etc.
+    """
+
+    outputs: dict[str, np.ndarray] | None
+    metrics: RunMetrics
+    plan: ExecutionPlan
+    per_subgraph: list[dict] = None
+
+    @property
+    def total_time(self) -> float:
+        return self.metrics.total_time
+
+    def attribution_table(self) -> str:
+        """A readable per-subgraph cost table."""
+        from repro.bench.reporting import format_table
+
+        rows = []
+        for sub, d in zip(self.plan.subgraphs, self.per_subgraph or []):
+            rows.append([
+                sub.index, sub.strategy.value, len(sub.subgraph),
+                d["num_tasks"], f"{d['flops'] / 1e9:.3f}",
+                d["dram_txns"], f"{d['dram_time_s'] * 1e3:.3f}",
+                d["atomics_compulsory"] + d["atomics_conflict"],
+            ])
+        return format_table(
+            ["subgraph", "strategy", "ops", "tasks", "GFLOP", "DRAM txns",
+             "DRAM ms", "atomics"], rows,
+            title=f"per-subgraph attribution: {self.plan.graph.name}")
+
+
+def _max_kernel_extent(graph: Graph, node_ids) -> int:
+    """Largest *effective* kernel extent among member ops: the brick side
+    must be at least the filter footprint (section 3.3.4).  Dilation widens
+    the footprint -- a rate-4 dilated 3x3 spans 9 elements, and bricks
+    smaller than that drown in neighbor dependencies."""
+    k = 1
+    for nid in node_ids:
+        op = graph.node(nid).op
+        if isinstance(op, (Conv, ConvTranspose, Pool)):
+            dil = getattr(op, "dilation", (1,) * len(op.kernel))
+            k = max(k, max((kk - 1) * d + 1 for kk, d in zip(op.kernel, dil)))
+    return k
+
+
+class BrickDLEngine:
+    """Compile-and-run facade for BrickDL merged execution."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        spec: GPUSpec = A100,
+        config: PerfModelConfig = DEFAULT_CONFIG,
+        strategy_override: Strategy | None = None,
+        brick_override: int | None = None,
+        max_layers: int | None = None,
+        layer_schedule: tuple[int, ...] | None = None,
+    ) -> None:
+        graph.validate()
+        self.graph = graph
+        self.spec = spec
+        self.config = config
+        self.strategy_override = strategy_override
+        self.brick_override = brick_override
+        self.max_layers = max_layers
+        self.layer_schedule = layer_schedule
+
+    # -- compilation -----------------------------------------------------------
+    def compile(self) -> ExecutionPlan:
+        views = partition_graph(
+            self.graph, self.spec, self.config, self.max_layers, self.layer_schedule
+        )
+        plan = ExecutionPlan(self.graph)
+        for index, view in enumerate(views):
+            plan.subgraphs.append(self._decide(index, view))
+        return plan
+
+    def _decide(self, index: int, view: SubgraphView) -> SubgraphPlan:
+        graph = self.graph
+        only = graph.node(view.node_ids[0]) if len(view) == 1 else None
+        if only is not None and (only.op.is_global or not only.op.is_local):
+            return SubgraphPlan(index=index, subgraph=view, strategy=Strategy.CUDNN,
+                                reason="global operator")
+
+        exit_id = view.exit_ids[-1]
+        exit_spec = graph.node(exit_id).spec
+        if not exit_spec.spatial:
+            return SubgraphPlan(index=index, subgraph=view, strategy=Strategy.CUDNN,
+                                reason="no spatial dims")
+        # Parallelism is judged on the *narrowest* member activation: a
+        # subgraph is only worth bricking if even its smallest layer still
+        # offers enough brick-level parallelism ("towards the end of a DNN
+        # graph, tiny layer sizes do not benefit from merged execution",
+        # section 3.3.3).
+        narrowest = min(
+            (graph.node(nid).spec.spatial for nid in view.node_ids
+             if graph.node(nid).spec.spatial_ndim == exit_spec.spatial_ndim),
+            key=lambda sp: math.prod(sp),
+        )
+        kernel_extent = _max_kernel_extent(graph, view.node_ids)
+        if self.brick_override is not None:
+            brick = self.brick_override
+            rho = parallelism(narrowest, brick)
+            fallback = False
+        else:
+            decision = choose_brick_size(narrowest, self.config, kernel_extent)
+            brick, rho, fallback = decision.brick, decision.rho, decision.fallback
+        if fallback:
+            return SubgraphPlan(index=index, subgraph=view, strategy=Strategy.CUDNN,
+                                rho=rho, reason="insufficient brick parallelism")
+
+        brick_shape = tuple(min(brick, e) for e in exit_spec.spatial)
+        delta = padding_growth(view, None, brick_shape)
+        strategy = self.strategy_override or choose_strategy(delta, self.config)
+        footprint = merged_footprint_bytes(graph, view.node_ids, view.entry_ids)
+        reason = f"delta {'>' if delta > self.config.delta_threshold else '<='} {self.config.delta_threshold:.0%}"
+        return SubgraphPlan(
+            index=index, subgraph=view, strategy=strategy, brick_shape=brick_shape,
+            delta=delta, rho=rho, footprint_bytes=footprint, reason=reason,
+        )
+
+    # -- execution ----------------------------------------------------------
+    def run(
+        self,
+        inputs: Mapping[str, np.ndarray] | np.ndarray | None = None,
+        functional: bool = True,
+        device: Device | None = None,
+        plan: ExecutionPlan | None = None,
+    ) -> EngineResult:
+        graph = self.graph
+        plan = plan if plan is not None else self.compile()
+        device = device if device is not None else Device(self.spec)
+        if functional:
+            graph.init_weights()
+
+        boundary: dict[int, DenseHandle | BrickedHandle] = {}
+        for node in graph.input_nodes:
+            buf = device.allocate(f"{graph.name}/{node.name}", node.spec.nbytes)
+            data = self._bind_input(node, inputs) if functional else None
+            boundary[node.node_id] = DenseHandle(node.spec, buf, data)
+
+        weight_buffers = self._allocate_weights(device)
+        remaining = {n.node_id: len(graph.consumers(n.node_id)) for n in graph.nodes}
+        for n in graph.output_nodes:
+            remaining[n.node_id] += 1
+
+        per_subgraph: list[dict] = []
+        for sub in plan.subgraphs:
+            snap = device.snapshot()
+            for nid in sub.subgraph.node_ids:
+                wb = weight_buffers.get(nid)
+                if wb is not None:
+                    device.memory.pin(wb)
+            if sub.strategy is Strategy.CUDNN:
+                self._run_fallback(device, sub, boundary, weight_buffers, functional)
+            else:
+                self._run_merged(device, sub, boundary, weight_buffers, functional)
+            for nid in sub.subgraph.node_ids:
+                wb = weight_buffers.get(nid)
+                if wb is not None:
+                    device.memory.unpin(wb)
+            self._retire(device, sub, boundary, remaining)
+            per_subgraph.append(device.delta_since(snap))
+
+        # Graph outputs are materialized densely (and charged) in both modes.
+        for node in graph.output_nodes:
+            self._ensure_dense(device, node.node_id, boundary, functional)
+        outputs = None
+        if functional:
+            outputs = {n.name: boundary[n.node_id].require_data() for n in graph.output_nodes}
+        return EngineResult(outputs=outputs, metrics=device.finish(), plan=plan,
+                            per_subgraph=per_subgraph)
+
+    # -- merged subgraphs ---------------------------------------------------
+    def _run_merged(self, device, sub: SubgraphPlan, boundary, weight_buffers, functional) -> None:
+        entries: dict[int, BrickedHandle | DenseHandle] = {}
+        for eid in sub.subgraph.entry_ids:
+            handle = boundary[eid]
+            if isinstance(handle, DenseHandle):
+                # Dense entries (graph inputs) are consumed directly: brick
+                # tasks stream their regions out of the row-major tensor, so
+                # no separate layout-conversion pass is charged.
+                entries[eid] = handle
+            else:
+                entries[eid] = self._ensure_bricked(device, eid, sub.brick_shape, boundary, functional)
+        strategy = sub.strategy
+        if strategy is Strategy.WAVEFRONT:
+            from repro.core.wavefront import WavefrontBrickExecutor, is_chain_subgraph
+
+            if not is_chain_subgraph(sub.subgraph):
+                strategy = Strategy.MEMOIZED  # branches need the dynamic runtime
+        if strategy is Strategy.PADDED:
+            executor = PaddedBrickExecutor(
+                subgraph=sub.subgraph, brick_shape=sub.brick_shape, device=device,
+                entries=entries, weight_buffers=weight_buffers, functional=functional,
+            )
+            exits = executor.run()
+        elif strategy is Strategy.WAVEFRONT:
+            from repro.core.wavefront import WavefrontBrickExecutor
+
+            executor = WavefrontBrickExecutor(
+                subgraph=sub.subgraph, brick_shape=sub.brick_shape, device=device,
+                entries=entries, weight_buffers=weight_buffers, functional=functional,
+            )
+            exits = executor.run()
+            for nid, handle in executor.memo.items():
+                if nid not in exits:
+                    device.discard(handle.buffer)
+        else:
+            executor = MemoizedBrickExecutor(
+                sub.subgraph, sub.brick_shape, device, entries, weight_buffers, functional,
+            )
+            exits = executor.run()
+            # Interior memo tensors die with the subgraph: discard without
+            # write-back (they never leave L2 -- the merged-execution payoff).
+            for nid, handle in executor.memo.items():
+                if nid not in exits:
+                    device.discard(handle.buffer)
+        boundary.update(exits)
+
+    # -- vendor-library fallback ------------------------------------------------
+    def _run_fallback(self, device, sub: SubgraphPlan, boundary, weight_buffers, functional) -> None:
+        """Un-bricked execution of a subgraph via tiled vendor-library calls,
+        with the same conv+pointwise fusion the cuDNN baseline enjoys."""
+        # Imported here: repro.baselines also consumes repro.core (handles),
+        # so the engine pulls the shared tiled machinery in lazily.
+        from repro.baselines.tiled import (
+            adaptive_tiles,
+            compute_group_values,
+            run_group_global,
+            run_group_tiled,
+        )
+
+        graph = self.graph
+        values: dict[int, np.ndarray] = {}
+        members = set(sub.subgraph.node_ids)
+        for group in self._fallback_groups(sub):
+            node = group.output
+            handles: dict[int, DenseHandle] = {}
+            group_ids = {n.node_id for n in group.nodes}
+            for gnode in group.nodes:
+                for pred in gnode.inputs:
+                    if pred in group_ids:
+                        continue
+                    handles[pred] = self._ensure_dense(device, pred, boundary, functional)
+                    if functional:
+                        values[pred] = handles[pred].require_data()
+            out_buf = device.allocate(f"{graph.name}/{node.name}", node.spec.nbytes)
+            out_data = compute_group_values(graph, group, values) if functional else None
+            out_handle = DenseHandle(node.spec, out_buf, out_data)
+            if functional:
+                values[node.node_id] = out_data
+            if group.primary.op.is_global or not node.spec.spatial:
+                run_group_global(device, graph, group, handles, out_handle, weight_buffers, label="fallback")
+            else:
+                tile = 16 if node.spec.spatial_ndim >= 3 else 32
+                tiles = adaptive_tiles(node.spec.spatial, tile, device.spec.num_sms)
+                run_group_tiled(device, graph, group, handles, out_handle, tiles, weight_buffers, label="fallback")
+            device.synchronize()
+            for gnode in group.nodes:
+                boundary[gnode.node_id] = out_handle
+
+    def _fallback_groups(self, sub: SubgraphPlan) -> list:
+        """Conv+pointwise fusion groups restricted to the subgraph members."""
+        from repro.baselines.fusion import FusionGroup
+
+        graph = self.graph
+        members = set(sub.subgraph.node_ids)
+        groups: list[FusionGroup] = []
+        absorbed: set[int] = set()
+        for nid in sub.subgraph.node_ids:
+            if nid in absorbed:
+                continue
+            node = graph.node(nid)
+            group = FusionGroup(primary=node)
+            current = node
+            while True:
+                consumers = [c for c in graph.consumers(current)]
+                if len(consumers) != 1 or consumers[0] not in members:
+                    break
+                nxt = graph.node(consumers[0])
+                if not nxt.op.is_pointwise:
+                    break
+                others = [i for i in nxt.inputs if i != current.node_id]
+                if any(i >= group.primary.node_id for i in others):
+                    break
+                group.fused.append(nxt)
+                absorbed.add(nxt.node_id)
+                current = nxt
+            groups.append(group)
+        return groups
+
+    # -- representation management ------------------------------------------------
+    def _ensure_bricked(self, device, nid: int, brick_shape, boundary, functional) -> BrickedHandle:
+        handle = boundary[nid]
+        if isinstance(handle, BrickedHandle) and handle.grid.brick_shape == tuple(brick_shape):
+            return handle
+        node = self.graph.node(nid)
+        shape = tuple(min(b, e) for b, e in zip(brick_shape, node.spec.spatial))
+        nbricks = math.prod(-(-e // b) for e, b in zip(node.spec.spatial, shape))
+        nbytes = node.spec.batch * nbricks * node.spec.channels * math.prod(shape) * node.spec.itemsize
+        buf = device.allocate(f"{node.name}/bricked", nbytes, transient=True)
+        new = BrickedHandle.create(node.spec, shape, buf, functional)
+        # Brick creation cost (the paper notes it is minimal): one sweep of
+        # the source plus per-brick writes so the brick-class residency model
+        # sees the new layout.
+        task = Task(label=f"to-bricks/{node.name}")
+        task.read(handle.buffer, 0, handle.buffer.nbytes, dense=True)
+        for n in range(node.spec.batch):
+            for gpos in new.bricks():
+                new.emit_brick_write(task, n, gpos)
+        device.submit(task)
+        if functional:
+            dense = handle.require_data() if isinstance(handle, DenseHandle) else handle.data.to_dense()
+            new.data = BrickedTensor.from_dense(dense, shape)
+        boundary[nid] = new
+        return new
+
+    def _ensure_dense(self, device, nid: int, boundary, functional) -> DenseHandle:
+        handle = boundary[nid]
+        if isinstance(handle, DenseHandle):
+            return handle
+        node = self.graph.node(nid)
+        # Graph outputs must survive the run (and be charged at flush);
+        # intermediate dense copies die with their consumers.
+        is_output = nid in {n.node_id for n in self.graph.output_nodes}
+        buf = device.allocate(f"{node.name}/dense", node.spec.nbytes, transient=not is_output)
+        task = Task(label=f"from-bricks/{node.name}")
+        for n in range(node.spec.batch):
+            for gpos in handle.bricks():
+                handle.emit_brick_read(task, n, gpos)
+        task.write(buf, 0, node.spec.nbytes, dense=True)
+        device.submit(task)
+        data = handle.data.to_dense() if functional else None
+        new = DenseHandle(node.spec, buf, data)
+        boundary[nid] = new
+        return new
+
+    def _dense_values(self, device, node: Node, boundary) -> np.ndarray:
+        handle = self._ensure_dense(device, node.node_id, boundary, functional=True)
+        return handle.require_data()
+
+    def _retire(self, device, sub: SubgraphPlan, boundary, remaining) -> None:
+        """Release boundary buffers whose consumers have all executed."""
+        members = set(sub.subgraph.node_ids)
+        outputs = {n.node_id for n in self.graph.output_nodes}
+        for eid in sub.subgraph.entry_ids:
+            consumed = sum(1 for nid in members for i in self.graph.node(nid).inputs if i == eid)
+            remaining[eid] -= consumed
+            if remaining[eid] <= 0 and eid not in outputs and eid in boundary:
+                handle = boundary[eid]
+                if handle.buffer.transient:
+                    device.discard(handle.buffer)
+
+    # -- shared helpers ------------------------------------------------------
+    def _bind_input(self, node: Node, inputs) -> np.ndarray:
+        if inputs is None:
+            raise ExecutionError("functional run requires input arrays")
+        arr = inputs if isinstance(inputs, np.ndarray) else inputs[node.name]
+        arr = np.asarray(arr, dtype=node.spec.dtype)
+        if arr.shape != node.spec.shape:
+            raise ExecutionError(f"input {node.name!r}: expected {node.spec.shape}, got {arr.shape}")
+        return arr
+
+    def _allocate_weights(self, device: Device):
+        buffers = {}
+        for node in self.graph.nodes:
+            if node.is_input:
+                continue
+            input_specs = [self.graph.node(i).spec for i in node.inputs]
+            nbytes = node.op.weight_bytes(input_specs)
+            if nbytes:
+                buffers[node.node_id] = device.allocate(f"{self.graph.name}/{node.name}/w", nbytes)
+        return buffers

@@ -1,0 +1,181 @@
+"""Static halo analysis for merged subgraphs (section 3.2.1, Fig. 4).
+
+Given a subgraph and a brick geometry on its exit activations, this analysis
+answers, per member node, *which output region of that node one exit brick's
+computation touches*.  It is the reverse traversal the paper describes: the
+subgraph is walked backwards from the exit with a work queue, and every
+node's requirement grows by that operator's halo, producing the telescoping
+``B + 2p, B + 4p, ...`` padded brick sizes of Fig. 4.
+
+Two consumers:
+
+* the **padded-bricks executor** uses the per-node regions directly as the
+  enlarged regions each brick task computes;
+* the **performance model** (section 3.3.2) uses the aggregate *data growth*
+  ``delta`` -- the fraction of extra activation data the padding introduces
+  across the subgraph -- to choose between padded and memoized execution
+  (memoized when ``delta > 15 %``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PlanError
+from repro.graph.ir import Node
+from repro.graph.regions import Region
+from repro.graph.traversal import SubgraphView
+
+__all__ = ["HaloAnalysis", "required_regions", "padding_growth", "chain_padded_sizes"]
+
+
+def required_regions(subgraph: SubgraphView, exit_id: int, out_region: Region) -> dict[int, Region]:
+    """Per-node output regions needed to produce ``out_region`` of the exit.
+
+    Returns ``{node_id: Region}`` in the node's own (absolute, unclipped)
+    output coordinates, for every member node and every *entry* node that
+    feeds the computation.  Implemented as the paper's queue-based reverse
+    traversal, taking region hulls when a node feeds multiple consumers
+    inside the subgraph (branches share the enlarged requirement).
+    """
+    graph = subgraph.graph
+    members = set(subgraph.node_ids)
+    if exit_id not in members:
+        raise PlanError(f"exit {exit_id} is not a member of the subgraph")
+
+    required: dict[int, Region] = {exit_id: out_region}
+    # Reverse topological order: member ids descending (ids are topo-ordered).
+    queue = sorted(members | set(subgraph.entry_ids), reverse=True)
+    for nid in queue:
+        if nid not in required or nid not in members:
+            continue
+        node = graph.node(nid)
+        region = required[nid]
+        input_specs = [graph.node(i).spec for i in node.inputs]
+        for input_index, pred in enumerate(node.inputs):
+            maps = node.op.rf_maps(input_specs, input_index)
+            need = Region(m.in_interval(iv) for m, iv in zip(maps, region))
+            if pred in required:
+                required[pred] = required[pred].hull(need)
+            else:
+                required[pred] = need
+    return required
+
+
+def padding_growth(subgraph: SubgraphView, exit_id: int | None, brick_shape: tuple[int, ...]) -> float:
+    """The paper's ``delta``: fractional activation-data growth from padding.
+
+    Sums, over every exit node, every exit brick, and every member/entry node
+    the exit's computation touches, the (clipped) region the padded strategy
+    would compute or copy, and compares against the exact activation sizes.
+    Corner/edge/center bricks contribute their different (clipped) padding,
+    as the paper notes; multi-exit subgraphs accumulate each exit's
+    (redundant) requirements, which is what the padded executor really does.
+
+    ``exit_id`` restricts the analysis to one exit (None = all exits).
+    """
+    graph = subgraph.graph
+    exit_ids = [exit_id] if exit_id is not None else list(subgraph.exit_ids)
+    node_ids = list(subgraph.node_ids) + list(subgraph.entry_ids)
+
+    padded_elems = 0
+    for eid in exit_ids:
+        extents = graph.node(eid).spec.spatial
+        if len(brick_shape) != len(extents):
+            raise PlanError(f"brick rank {len(brick_shape)} vs exit spatial rank {len(extents)}")
+        from repro.core.bricked import BrickGrid  # local import to avoid a cycle
+
+        grid = BrickGrid(extents, brick_shape)
+
+        # The interval algebra is separable per spatial dimension
+        # (in_interval, hull and clip all act dimension-wise), so instead of
+        # running the reverse traversal for every brick (O(bricks x nodes)),
+        # run it once per grid index per dimension and combine
+        # multiplicatively:
+        #   padded_elems(node) = prod_d ( sum_i clipped_len_{d,i}(node) ).
+        per_dim_lens: list[dict[int, list[int]]] = []
+        for d, (extent, b, g) in enumerate(zip(extents, brick_shape, grid.grid_shape)):
+            lens: dict[int, list[int]] = {nid: [] for nid in node_ids}
+            for i in range(g):
+                out_iv = Region.from_bounds([i * b], [min((i + 1) * b, extent)])
+                required = _required_1d(subgraph, eid, d, out_iv[0])
+                for nid in node_ids:
+                    if nid in required:
+                        spec = graph.node(nid).spec
+                        lens[nid].append(required[nid].clip(spec.spatial[d]).length)
+                    else:
+                        lens[nid].append(0)
+            per_dim_lens.append(lens)
+
+        for nid in node_ids:
+            total = 1
+            for lens in per_dim_lens:
+                total *= sum(lens[nid])
+            padded_elems += total
+
+    exact_elems = 0
+    for nid in node_ids:
+        spec = graph.node(nid).spec
+        exact_elems += int(spec.num_elements // (spec.batch * spec.channels))
+    if exact_elems == 0:
+        return 0.0
+    return padded_elems / exact_elems - 1.0
+
+
+def _required_1d(subgraph: SubgraphView, exit_id: int, dim: int, out_iv) -> dict[int, "object"]:
+    """One-dimensional slice of :func:`required_regions` along ``dim``."""
+    graph = subgraph.graph
+    members = set(subgraph.node_ids)
+    required = {exit_id: out_iv}
+    for nid in sorted(members | set(subgraph.entry_ids), reverse=True):
+        if nid not in required or nid not in members:
+            continue
+        node = graph.node(nid)
+        iv = required[nid]
+        input_specs = [graph.node(i).spec for i in node.inputs]
+        for input_index, pred in enumerate(node.inputs):
+            m = node.op.rf_maps(input_specs, input_index)[dim]
+            need = m.in_interval(iv)
+            required[pred] = required[pred].hull(need) if pred in required else need
+    return required
+
+
+def chain_padded_sizes(subgraph: SubgraphView, exit_id: int, brick_shape: tuple[int, ...]) -> list[tuple[str, tuple[int, ...]]]:
+    """Human-readable per-layer padded brick sizes for a central brick.
+
+    Reproduces Fig. 4's ``(Bh + 2px) x (Bw + 2py)``, ``(Bh + 4px) x ...``
+    numbers: the input-region shape each member layer needs for one interior
+    exit brick.  Returns ``[(node_name, padded_shape), ...]`` from the exit
+    backwards.
+    """
+    graph = subgraph.graph
+    exit_node = graph.node(exit_id)
+    from repro.core.bricked import BrickGrid
+
+    grid = BrickGrid(exit_node.spec.spatial, brick_shape)
+    # A central brick: the grid's middle position.
+    center = tuple(g // 2 for g in grid.grid_shape)
+    required = required_regions(subgraph, exit_id, grid.brick_region(center))
+    out = []
+    for nid in sorted(required, reverse=True):
+        out.append((graph.node(nid).name, required[nid].shape))
+    return out
+
+
+@dataclass(frozen=True)
+class HaloAnalysis:
+    """Cached halo analysis of one subgraph for one brick geometry."""
+
+    subgraph: SubgraphView
+    exit_id: int
+    brick_shape: tuple[int, ...]
+    delta: float
+
+    @classmethod
+    def analyze(cls, subgraph: SubgraphView, exit_id: int, brick_shape: tuple[int, ...]) -> "HaloAnalysis":
+        return cls(
+            subgraph=subgraph,
+            exit_id=exit_id,
+            brick_shape=tuple(brick_shape),
+            delta=padding_growth(subgraph, exit_id, tuple(brick_shape)),
+        )

@@ -1,0 +1,184 @@
+"""Tensor handles: geometry + device buffer + (optional) values.
+
+Execution strategies manipulate activations through handles so the same code
+runs in two modes:
+
+* **functional** -- a backing array is present; kernels actually compute and
+  results are numerically checkable against the reference executor;
+* **profile** -- no values are materialized (large benchmark configurations
+  would not fit or would be too slow in NumPy); only geometry flows, and the
+  handles emit the identical access streams to the simulated device.
+
+:class:`BrickedHandle` also centralizes the translation from *regions* to
+*brick accesses*: reading a halo-expanded region means reading every
+overlapping brick in full (the brick is the unit of data movement).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.brick import BrickMap
+from repro.core.bricked import BrickedTensor, BrickGrid
+from repro.errors import ExecutionError
+from repro.graph.regions import Region
+from repro.graph.tensorspec import TensorSpec
+from repro.gpusim.trace import Buffer, Task
+
+__all__ = ["DenseHandle", "BrickedHandle"]
+
+
+@dataclass
+class DenseHandle:
+    """A row-major activation at a subgraph boundary."""
+
+    spec: TensorSpec
+    buffer: Buffer
+    data: np.ndarray | None = None
+
+    @property
+    def functional(self) -> bool:
+        return self.data is not None
+
+    def require_data(self) -> np.ndarray:
+        if self.data is None:
+            raise ExecutionError(f"handle for {self.buffer.name!r} has no values (profile mode)")
+        return self.data
+
+    def _region_access(self, batch: int, region: Region) -> tuple[int, int, tuple[tuple[int, int], ...]]:
+        """(offset, segment_bytes, reps) for a row-major spatial region read
+        spanning all channels of one sample."""
+        spec = self.spec
+        item = spec.itemsize
+        clipped = region.clip(spec.spatial)
+        spatial = spec.spatial
+        nd = len(spatial)
+        plane = math.prod(spatial) * item                      # one channel
+        strides = [item] * nd
+        for d in range(nd - 2, -1, -1):
+            strides[d] = strides[d + 1] * spatial[d + 1]
+        offset = batch * spec.channels * plane + sum(iv.lo * s for iv, s in zip(clipped, strides))
+        seg = clipped[-1].length * item
+        reps: list[tuple[int, int]] = [(spec.channels, plane)]
+        for d in range(nd - 1):
+            reps.append((clipped[d].length, strides[d]))
+        return offset, seg, tuple(reps)
+
+    def emit_region_read(self, task: Task, batch: int, region: Region) -> None:
+        """Record a strided read of a spatial region (all channels)."""
+        clipped = region.clip(self.spec.spatial)
+        if clipped.is_empty():
+            return
+        offset, seg, reps = self._region_access(batch, clipped)
+        task.read(self.buffer, offset, seg, reps, dense=True)
+
+    def emit_region_write(self, task: Task, batch: int, region: Region) -> None:
+        clipped = region.clip(self.spec.spatial)
+        if clipped.is_empty():
+            return
+        offset, seg, reps = self._region_access(batch, clipped)
+        task.write(self.buffer, offset, seg, reps, dense=True)
+
+    def emit_full_read(self, task: Task) -> None:
+        task.read(self.buffer, 0, self.buffer.nbytes, dense=True)
+
+    def emit_full_write(self, task: Task) -> None:
+        task.write(self.buffer, 0, self.buffer.nbytes, dense=True)
+
+    def gather(self, batch: int, region: Region, fill: float = 0.0) -> np.ndarray:
+        """Dense ``(C, *region.shape)`` patch (API parity with BrickedHandle,
+        so merged executors can consume dense graph inputs directly)."""
+        data = self.require_data()
+        shape = (self.spec.channels, *region.shape)
+        out = np.full(shape, fill, dtype=self.spec.dtype)
+        valid = region.clip(self.spec.spatial)
+        if valid.is_empty():
+            return out
+        src = (batch, slice(None), *valid.slices())
+        dst = (slice(None), *valid.slices(origin=[iv.lo for iv in region]))
+        out[dst] = data[src]
+        return out
+
+
+@dataclass
+class BrickedHandle:
+    """A brick-layout activation bound to a device buffer."""
+
+    spec: TensorSpec
+    grid: BrickGrid
+    buffer: Buffer
+    data: BrickedTensor | None = None
+
+    @classmethod
+    def create(
+        cls,
+        spec: TensorSpec,
+        brick_shape: tuple[int, ...],
+        buffer: Buffer,
+        functional: bool,
+        brick_map: BrickMap | None = None,
+    ) -> "BrickedHandle":
+        grid = BrickGrid(spec.spatial, brick_shape)
+        data = BrickedTensor(spec, brick_shape, brick_map) if functional else None
+        return cls(spec=spec, grid=grid, buffer=buffer, data=data)
+
+    @property
+    def functional(self) -> bool:
+        return self.data is not None
+
+    @property
+    def brick_nbytes(self) -> int:
+        return self.spec.channels * math.prod(self.grid.brick_shape) * self.spec.itemsize
+
+    def nbytes(self) -> int:
+        return self.spec.batch * self.grid.num_bricks * self.brick_nbytes
+
+    def physical(self, grid_pos: tuple[int, ...]) -> int:
+        if self.data is not None:
+            return self.data.brick_map.physical(grid_pos)
+        # Profile mode: identity brick map.
+        idx = 0
+        for p, g in zip(grid_pos, self.grid.grid_shape):
+            idx = idx * g + p
+        return idx
+
+    def brick_offset(self, batch: int, grid_pos: tuple[int, ...]) -> int:
+        return (batch * self.grid.num_bricks + self.physical(grid_pos)) * self.brick_nbytes
+
+    # -- access emission ------------------------------------------------------
+    def emit_region_read(self, task: Task, batch: int, region: Region) -> int:
+        """Record reads of every brick overlapping ``region``; returns count.
+
+        Each brick is one contiguous read -- the single-address-stream
+        property of the layout.
+        """
+        count = 0
+        for grid_pos in self.grid.bricks_overlapping(region):
+            task.read(self.buffer, self.brick_offset(batch, grid_pos), self.brick_nbytes)
+            count += 1
+        return count
+
+    def emit_brick_read(self, task: Task, batch: int, grid_pos: tuple[int, ...]) -> None:
+        task.read(self.buffer, self.brick_offset(batch, grid_pos), self.brick_nbytes)
+
+    def emit_brick_write(self, task: Task, batch: int, grid_pos: tuple[int, ...]) -> None:
+        task.write(self.buffer, self.brick_offset(batch, grid_pos), self.brick_nbytes)
+
+    # -- values ---------------------------------------------------------------
+    def gather(self, batch: int, region: Region, fill: float = 0.0) -> np.ndarray:
+        if self.data is None:
+            raise ExecutionError(f"gather on profile-mode handle {self.buffer.name!r}")
+        return self.data.gather_region(batch, region, fill)
+
+    def scatter(self, batch: int, region: Region, values: np.ndarray) -> None:
+        if self.data is None:
+            raise ExecutionError(f"scatter on profile-mode handle {self.buffer.name!r}")
+        self.data.scatter_region(batch, region, values)
+
+    def bricks(self) -> Iterator[tuple[int, ...]]:
+        """All grid positions, row-major."""
+        yield from self.grid.bricks_overlapping(Region.from_extents(self.grid.extents))

@@ -1,0 +1,376 @@
+"""Merged execution with recursive memoized bricks (section 3.2.2).
+
+Every (node, brick) in the subgraph is computed **exactly once** and cached
+in a bricked memo tensor.  Dependencies are resolved top-down: a virtual
+thread block working on an exit brick backtracks through the layers,
+computing whatever dependent bricks are still missing -- Fig. 2(d)'s
+recursive ``compConv2D``.
+
+Concurrency is simulated with a deterministic round-robin scheduler over
+``num_sms`` virtual workers.  Each brick carries the paper's three-state tag:
+
+* ``0`` not started -- a worker CASes it to 1 and owns it (compulsory atomic),
+* ``1`` in progress -- another worker observing this records a *conflict*
+  atomic and either moves on to a different state-0 dependency or stalls,
+* ``2`` complete -- with a release CAS (the second compulsory atomic).
+
+A brick's computation occupies its worker for a number of scheduler turns
+proportional to the modeled kernel time, so overlapping workers genuinely
+collide on shared halo bricks: the conflict counts of Figs. 8/10/11 are an
+emergent property of the schedule, not an input.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.handles import BrickedHandle
+from repro.errors import ExecutionError
+from repro.graph.regions import Region
+from repro.graph.traversal import SubgraphView
+from repro.gpusim.device import Device
+from repro.gpusim.trace import Buffer, Task
+from repro.kernels import apply_node_local, pad_value_for
+
+__all__ = ["MemoizedBrickExecutor"]
+
+_NOT_STARTED, _IN_PROGRESS, _COMPLETE = 0, 1, 2
+
+
+@dataclass
+class _Frame:
+    """One owned brick on a worker's recursion stack."""
+
+    nid: int
+    gpos: tuple[int, ...]
+    batch: int
+    deps: list[tuple[int, tuple[int, ...]]] | None = None
+    blocked: list[tuple[int, tuple[int, ...]]] = field(default_factory=list)
+
+
+class MemoizedBrickExecutor:
+    """Executes one merged subgraph with the memoized-bricks strategy."""
+
+    def __init__(
+        self,
+        subgraph: SubgraphView,
+        brick_shape: tuple[int, ...],
+        device: Device,
+        entries: dict[int, BrickedHandle],
+        weight_buffers: dict[int, Buffer],
+        functional: bool = True,
+    ) -> None:
+        self.subgraph = subgraph
+        self.brick_shape = tuple(brick_shape)
+        self.device = device
+        self.entries = entries
+        self.weight_buffers = weight_buffers
+        self.functional = functional
+        self.graph = subgraph.graph
+        self.members = set(subgraph.node_ids)
+        for eid in subgraph.entry_ids:
+            if eid not in entries:
+                raise ExecutionError(f"memoized executor missing entry handle for node {eid}")
+
+        # Memo storage: a bricked tensor per member node.
+        self.memo: dict[int, BrickedHandle] = {}
+        self.states: dict[int, bytearray] = {}
+        for nid in subgraph.node_ids:
+            node = self.graph.node(nid)
+            grid_bricks = math.prod(-(-e // b) for e, b in zip(node.spec.spatial, self.brick_shape))
+            nbytes = node.spec.batch * grid_bricks * node.spec.channels * math.prod(self.brick_shape) * node.spec.itemsize
+            buf = self.device.allocate(f"{node.name}/memo", nbytes, transient=True)
+            self.memo[nid] = BrickedHandle.create(node.spec, self.brick_shape, buf, self.functional)
+            self.states[nid] = bytearray(node.spec.batch * grid_bricks)
+
+        # Scheduler time quantum: set adaptively from the first task so a
+        # brick computation spans a handful of rounds regardless of scale
+        # (one round = one action per virtual worker).
+        self._quantum: float | None = None
+        self.total_conflicts = 0
+        self.total_compulsory = 0
+        self.total_visits = 0
+        # Consumer-coalescing brick LRU: the 3-state protocol synchronizes a
+        # brick's consumers around its completion and the 108 workers run
+        # truly concurrently, so re-reads within the *concurrent* working
+        # window hit L2.  A strictly serialized replay of the worker streams
+        # would charge them as capacity misses, so the executor tracks brick
+        # recency itself, with an effective capacity of ``coalesce_factor``
+        # concurrent L2 windows (see DESIGN.md, "consumer coalescing").
+        # Window size: a few waves of the fleet's concurrent dependency sets
+        # (workers x ~27-brick halo neighborhoods), floored by a multiple of
+        # the L2's own brick capacity.
+        max_brick_bytes = max(h.brick_nbytes for h in self.memo.values())
+        l2_bricks = device.spec.l2_bytes // max(1, max_brick_bytes)
+        # Deeper merged regions interleave more layers' bricks through the
+        # same concurrent window, diluting per-layer residency: the window
+        # shrinks with the square root of the merge depth.
+        depth = max(1, subgraph.depth)
+        wave = int(108 * device.spec.num_sms * min(1.0, 3.0 / depth))
+        self._recent_capacity = max(8 * l2_bricks, wave, 64)
+        self._recent: "OrderedDict[tuple[int, int], None]" = OrderedDict()
+        self._round = 0
+        self._busy_rounds = 0
+        self._durations: list[float] = []
+
+    # -- public ----------------------------------------------------------------
+    def run(self) -> dict[int, BrickedHandle]:
+        goals = self._sink_goals()
+        num_workers = self.device.spec.num_sms
+        # Clustered assignment: each worker owns a contiguous chunk of exit
+        # bricks (the paper's clustered thread blocks).
+        chunks: list[list[tuple[int, tuple[int, ...], int]]] = [[] for _ in range(num_workers)]
+        per = -(-len(goals) // num_workers) if goals else 1
+        for i, g in enumerate(goals):
+            chunks[min(i // per, num_workers - 1)].append(g)
+
+        workers = [_WorkerState(queue=list(reversed(chunk))) for chunk in chunks]
+        self._workers = workers
+        active = [w for w in workers if w.queue]
+
+        while active:
+            self._round += 1
+            if any(w.busy for w in active):
+                self._busy_rounds += 1
+            still = []
+            for w in active:
+                self._step(w)
+                if w.queue or w.stack or w.busy:
+                    still.append(w)
+            active = still
+        # Scheduler-level atomic conflicts and memo-table visits feed the
+        # device's counters (compulsory atomics ride on the tasks).
+        self.device.atomics.conflict += self.total_conflicts
+        self.device.add_overhead(self.total_visits * self.device.spec.memo_visit_s / max(1, self.device.spec.num_sms))
+        # Dependency-stall overhead: the simulated wall clock (rounds x
+        # quantum) exceeds the ideal independent-task makespan when workers
+        # stall on in-progress bricks -- the recursion serialization that
+        # grows with merge depth (the paper's "Other" time: recursion,
+        # synchronization, stalls).
+        if self._quantum is not None and self._workers:
+            # Stall turns are discounted: an SM whose resident block spins on
+            # a tag runs its other resident thread blocks meanwhile (A100 SMs
+            # hold many blocks), so only ~1/4 of stall time surfaces as lost
+            # wall-clock.
+            wall = max(w.busy_turns + w.stall_turns / 4.0 for w in self._workers) * self._quantum
+            ideal = sum(self._durations) / max(1, self.device.spec.num_sms)
+            if wall > ideal:
+                self.device.add_overhead(wall - ideal)
+        self.device.synchronize()  # reduction across bricks at subgraph end
+        return {eid: self.memo[eid] for eid in self.subgraph.exit_ids}
+
+    # -- scheduling ---------------------------------------------------------
+    def _step(self, w: "_WorkerState") -> None:
+        if w.busy > 0:
+            w.busy -= 1
+            w.busy_turns += 1
+            if w.busy == 0:
+                nid, gpos, batch = w.computing
+                self._set_state(nid, gpos, batch, _COMPLETE)
+                w.stack.pop()
+            return
+
+        if not w.stack:
+            while w.queue:
+                nid, gpos, batch = w.queue.pop()
+                state = self._get_state(nid, gpos, batch)
+                self.total_visits += 1
+                if state == _NOT_STARTED:
+                    self._acquire(w, nid, gpos, batch)
+                    return
+                if state == _IN_PROGRESS:
+                    # Our exit brick is being produced by another worker;
+                    # spin on it (conflict CAS) until it completes.
+                    self.total_conflicts += self._spins_per_turn()
+                    w.stall_turns += 1
+                    w.queue.append((nid, gpos, batch))
+                    return
+                # _COMPLETE: someone already made it; take the next goal.
+            return
+
+        frame = w.stack[-1]
+        if frame.deps is None:
+            frame.deps = self._dependencies(frame.nid, frame.gpos, frame.batch)
+
+        # Scan pending dependencies; prefer state-0 work (descend), remember
+        # in-progress blocks for later, and only stall when nothing else is
+        # runnable.  Unscanned deps are retained for the next turn.
+        pending = frame.blocked + frame.deps
+        keep: list[tuple[int, tuple[int, ...]]] = []
+        for idx, dep in enumerate(pending):
+            dnid, dgpos = dep
+            state = self._get_state(dnid, dgpos, frame.batch)
+            self.total_visits += 1
+            if state == _COMPLETE:
+                continue
+            if state == _IN_PROGRESS:
+                self.total_conflicts += self._spins_per_turn()
+                keep.append(dep)
+                continue
+            # state 0: descend into this dependency this turn; everything not
+            # yet scanned stays pending.
+            frame.blocked = keep + pending[idx + 1:]
+            frame.deps = []
+            self._acquire(w, dnid, dgpos, frame.batch)
+            return
+        frame.blocked = keep
+        frame.deps = []
+        if keep:
+            w.stall_turns += 1
+            return  # stall this turn; owners are progressing elsewhere
+        # All dependencies complete: compute this brick.
+        self._start_compute(w, frame)
+
+    def _spins_per_turn(self) -> int:
+        """Conflict CAS issued while stalled for one scheduler turn.
+
+        A stalled thread block re-issues its CAS at the hardware spin
+        interval; one scheduler turn spans one time quantum.
+        """
+        if self._quantum is None:
+            return 1
+        return max(1, round(self._quantum / self.device.spec.spin_interval_s))
+
+    def _acquire(self, w: "_WorkerState", nid: int, gpos: tuple[int, ...], batch: int) -> None:
+        self._set_state(nid, gpos, batch, _IN_PROGRESS)
+        self.total_compulsory += 2  # acquire now, release at completion
+        w.stack.append(_Frame(nid=nid, gpos=gpos, batch=batch))
+
+    def _start_compute(self, w: "_WorkerState", frame: _Frame) -> None:
+        node = self.graph.node(frame.nid)
+        handle = self.memo[frame.nid]
+        region = handle.grid.brick_region(frame.gpos, clipped=True)
+        input_specs = [self.graph.node(i).spec for i in node.inputs]
+
+        task = Task(label=f"memo/{node.name}/{frame.gpos}")
+        needs: list[Region] = []
+        offsets: tuple[int, ...] = (0,) * len(region)
+        for input_index, pred in enumerate(node.inputs):
+            maps = node.op.rf_maps(input_specs, input_index)
+            need = Region(m.in_interval(iv) for m, iv in zip(maps, region))
+            needs.append(need)
+            offsets = tuple(m.local_out_offset(iv.lo, niv.lo) for m, iv, niv in zip(maps, region, need))
+            source = self.memo.get(pred) or self.entries.get(pred)
+            if source is None:
+                raise ExecutionError(f"no source handle for predecessor {pred}")
+            self._read_bricks(task, source, frame.batch, need)
+        wb = self.weight_buffers.get(frame.nid)
+        if wb is not None and wb.nbytes:
+            task.read(wb, 0, wb.nbytes)
+        handle.emit_brick_write(task, frame.batch, frame.gpos)
+        self._touch((handle.buffer.buffer_id, handle.brick_offset(frame.batch, frame.gpos)))
+        task.flops = node.op.flops(input_specs, node.spec.channels * region.size)
+        task.atomics_compulsory = 2
+        task.visits = 0  # visits are tracked globally by the scheduler
+
+        if self.functional:
+            fill = pad_value_for(node.op)
+            patches = []
+            for need, pred in zip(needs, node.inputs):
+                source = self.memo.get(pred) or self.entries.get(pred)
+                patches.append(source.gather(frame.batch, need, fill))
+            values = apply_node_local(node.op, patches, node.weights, region.shape, offsets)
+            handle.scatter(frame.batch, region, values)
+
+        self.device.submit(task)
+        duration = self.device.spec.task_time(task.flops, task.calls)
+        self._durations.append(duration)
+        if self._quantum is None:
+            self._quantum = max(self.device.spec.call_overhead_s, duration / 4.0)
+        w.busy = max(1, round(duration / self._quantum))
+        w.computing = (frame.nid, frame.gpos, frame.batch)
+
+    def _touch(self, key: tuple[int, int]) -> bool:
+        """Refresh a brick in the recency LRU; returns True if it was hot."""
+        hot = key in self._recent
+        if hot:
+            self._recent.move_to_end(key)
+        else:
+            self._recent[key] = None
+            if len(self._recent) > self._recent_capacity:
+                self._recent.popitem(last=False)
+        return hot
+
+    def _read_bricks(self, task: Task, source, batch: int, need: Region) -> None:
+        """Emit dep-brick reads, coalescing protocol-synchronized re-reads.
+
+        Dense graph inputs are read directly with strided accesses (BrickDL
+        forms bricks as the first layer's tasks stream the input)."""
+        if not isinstance(source, BrickedHandle):
+            source.emit_region_read(task, batch, need)
+            return
+        for gpos in source.grid.bricks_overlapping(need):
+            offset = source.brick_offset(batch, gpos)
+            hot = self._touch((source.buffer.buffer_id, offset))
+            task.read(source.buffer, offset, source.brick_nbytes, assume_l2=hot)
+
+    # -- dependencies -----------------------------------------------------------
+    def _dependencies(self, nid: int, gpos: tuple[int, ...], batch: int) -> list[tuple[int, tuple[int, ...]]]:
+        """Member bricks this brick reads (entries are always available)."""
+        node = self.graph.node(nid)
+        handle = self.memo[nid]
+        region = handle.grid.brick_region(gpos, clipped=True)
+        input_specs = [self.graph.node(i).spec for i in node.inputs]
+        deps: list[tuple[int, tuple[int, ...]]] = []
+        for input_index, pred in enumerate(node.inputs):
+            if pred not in self.members:
+                continue
+            maps = node.op.rf_maps(input_specs, input_index)
+            need = Region(m.in_interval(iv) for m, iv in zip(maps, region))
+            for dep_pos in self.memo[pred].grid.bricks_overlapping(need):
+                deps.append((pred, dep_pos))
+        return deps
+
+    # -- state ---------------------------------------------------------------
+    def _flat(self, nid: int, gpos: tuple[int, ...], batch: int) -> int:
+        grid = self.memo[nid].grid.grid_shape
+        idx = 0
+        for p, g in zip(gpos, grid):
+            idx = idx * g + p
+        return batch * self.memo[nid].grid.num_bricks + idx
+
+    def _get_state(self, nid: int, gpos: tuple[int, ...], batch: int) -> int:
+        return self.states[nid][self._flat(nid, gpos, batch)]
+
+    def _set_state(self, nid: int, gpos: tuple[int, ...], batch: int, state: int) -> None:
+        self.states[nid][self._flat(nid, gpos, batch)] = state
+
+    def _sink_goals(self) -> list[tuple[int, tuple[int, ...], int]]:
+        """Exit bricks in spatially clustered order.
+
+        Goals are sorted by coarse cubic cluster so each worker's contiguous
+        chunk is a compact spatial block rather than a row-major stripe:
+        dependent bricks are then shared mostly *within* a chunk (short L2
+        reuse distances) instead of across distant workers.
+        """
+        goals = []
+        batch = self.graph.node(self.subgraph.node_ids[0]).spec.batch
+        num_workers = max(1, self.device.spec.num_sms)
+        for eid in self.subgraph.exit_ids:
+            handle = self.memo[eid]
+            grid = handle.grid.grid_shape
+            nd = len(grid)
+            total = handle.grid.num_bricks
+            # Cluster side so that one cluster is roughly one worker's share.
+            share = max(1, total // num_workers)
+            side = max(1, round(share ** (1.0 / nd)))
+            def cluster_key(gpos: tuple[int, ...]) -> tuple:
+                return (tuple(p // side for p in gpos), gpos)
+            for gpos in sorted(handle.bricks(), key=cluster_key):
+                for n in range(batch):
+                    goals.append((eid, gpos, n))
+        return goals
+
+
+@dataclass
+class _WorkerState:
+    queue: list[tuple[int, tuple[int, ...], int]]
+    stack: list[_Frame] = field(default_factory=list)
+    busy: int = 0
+    computing: tuple[int, tuple[int, ...], int] | None = None
+    busy_turns: int = 0    # turns spent computing bricks
+    stall_turns: int = 0   # turns spent spinning on in-progress bricks

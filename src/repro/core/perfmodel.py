@@ -1,0 +1,104 @@
+"""BrickDL's compile-time performance models (sections 3.3.2-3.3.3).
+
+Two decisions are made per subgraph, both from static analysis alone:
+
+* **Strategy** -- padded vs memoized bricks: padded bricks trade redundant
+  halo computation for zero synchronization; memoized bricks trade atomics
+  for zero redundancy.  The paper's rule: when the padding data growth
+  ``delta`` exceeds 15 %, use memoized bricks.
+
+* **Brick size** -- parallelism model: for ``n`` blocked dimensions of
+  extents ``D_1..D_n``, candidate brick side ``B`` yields
+  ``rho = prod(D_i) / B**n`` brick-parallel tasks.  More parallelism is
+  better up to a threshold ``tau = 2**12``, beyond which fine-grained task
+  overheads dominate; the model picks the ``B`` maximizing ``rho`` subject
+  to ``rho <= tau``.  When even the coarsest brick gives ``rho < B**n``
+  (tiny layers near the classifier), merged execution is skipped and the
+  subgraph falls back to plain vendor-library execution.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.plan import Strategy
+
+__all__ = ["PerfModelConfig", "BrickSizeDecision", "choose_brick_size", "choose_strategy"]
+
+
+@dataclass(frozen=True)
+class PerfModelConfig:
+    """Tunables of the static performance models (paper defaults)."""
+
+    brick_candidates: tuple[int, ...] = (4, 8, 16, 32)
+    tau: int = 2 ** 12              # parallelism ceiling (section 3.3.3)
+    delta_threshold: float = 0.15   # padded -> memoized switch (section 3.3.2)
+    # Enough-bricks-to-fill-the-device floor used by the cuDNN-fallback rule
+    # (~2 bricks per A100 SM).  The paper states the fallback as rho < B^n,
+    # but its own Fig. 11 best case (16^3 bricks at 224^3, rho = 2744 <
+    # 16^3) contradicts a literal reading, so the threshold is capped here.
+    min_parallelism: int = 216
+    # Fraction of L2 the partitioner may plan data into: caches are shared
+    # with weights and the baseline working set, so planning to fill all of
+    # it would thrash; half is the budget that keeps merged intermediates
+    # resident in practice.
+    l2_budget_fraction: float = 0.5
+
+
+DEFAULT_CONFIG = PerfModelConfig()
+
+
+@dataclass(frozen=True)
+class BrickSizeDecision:
+    """Outcome of the brick-size model for one subgraph."""
+
+    brick: int                 # chosen brick side (uniform across dims)
+    rho: float                 # resulting parallelism
+    fallback: bool             # True -> insufficient parallelism, use cuDNN
+    candidates: tuple[tuple[int, float], ...]  # (B, rho) table for reporting
+
+
+def parallelism(extents: Sequence[int], brick: int) -> float:
+    """``rho = prod(D_i) / B**n`` for ``n`` blocked dimensions."""
+    n = len(extents)
+    return math.prod(extents) / float(brick ** n)
+
+
+def choose_brick_size(
+    extents: Sequence[int],
+    config: PerfModelConfig = DEFAULT_CONFIG,
+    kernel_extent: int = 1,
+) -> BrickSizeDecision:
+    """Pick the brick side for blocked dims of the given extents.
+
+    ``kernel_extent`` is the largest effective kernel size in the subgraph:
+    the paper requires brick size greater than the filter size (section
+    3.3.4), so smaller candidates are skipped.
+    """
+    n = len(extents)
+    if n == 0:
+        return BrickSizeDecision(brick=0, rho=0.0, fallback=True, candidates=())
+    table = tuple((b, parallelism(extents, b)) for b in config.brick_candidates)
+    eligible = [(b, r) for b, r in table if b >= kernel_extent]
+    if not eligible:
+        return BrickSizeDecision(brick=max(config.brick_candidates), rho=0.0, fallback=True, candidates=table)
+
+    # Maximum rho subject to rho <= tau; if every candidate exceeds tau,
+    # take the coarsest brick (minimum rho).
+    within = [(b, r) for b, r in eligible if r <= config.tau]
+    if within:
+        brick, rho = max(within, key=lambda br: br[1])
+    else:
+        brick, rho = min(eligible, key=lambda br: br[1])
+
+    # Tiny layers: too few bricks to justify fine-grained blocking (the
+    # paper's "rho < B^n -> leverage cuDNN", with the device-fill cap).
+    fallback = rho < min(brick ** n, config.min_parallelism)
+    return BrickSizeDecision(brick=brick, rho=rho, fallback=fallback, candidates=table)
+
+
+def choose_strategy(delta: float, config: PerfModelConfig = DEFAULT_CONFIG) -> Strategy:
+    """Padded vs memoized from the padding data growth ``delta``."""
+    return Strategy.MEMOIZED if delta > config.delta_threshold else Strategy.PADDED

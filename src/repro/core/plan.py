@@ -1,0 +1,77 @@
+"""Execution plan data structures.
+
+Compilation (static analysis) turns a :class:`~repro.graph.ir.Graph` into an
+:class:`ExecutionPlan`: an ordered list of :class:`SubgraphPlan` entries,
+each carrying the subgraph view, the chosen merged-execution
+:class:`Strategy`, the brick shape, and the analysis artifacts
+(``delta``, parallelism ``rho``) that justified the choice -- so benchmarks
+and tests can interrogate *why* the model decided what it did.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.graph.ir import Graph
+from repro.graph.traversal import SubgraphView
+
+__all__ = ["Strategy", "SubgraphPlan", "ExecutionPlan"]
+
+
+class Strategy(enum.Enum):
+    """How a subgraph is executed."""
+
+    PADDED = "padded"        # merged execution, padded bricks (section 3.2.1)
+    MEMOIZED = "memoized"    # merged execution, memoized bricks (section 3.2.2)
+    WAVEFRONT = "wavefront"  # merged execution, time-skewed waves (section 6 extension)
+    CUDNN = "cudnn"          # vendor-library fallback: tiny layers / global ops
+
+
+@dataclass(frozen=True)
+class SubgraphPlan:
+    """One partition of the graph and its execution decision."""
+
+    index: int
+    subgraph: SubgraphView
+    strategy: Strategy
+    brick_shape: tuple[int, ...] = ()
+    delta: float = 0.0            # padding data growth (drives padded/memoized)
+    rho: float = 0.0              # parallelism of the brick-size model
+    footprint_bytes: int = 0      # analyzed on-chip working set
+    reason: str = ""              # human-readable model justification
+
+    @property
+    def is_merged(self) -> bool:
+        return self.strategy in (Strategy.PADDED, Strategy.MEMOIZED, Strategy.WAVEFRONT)
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.subgraph)
+
+    def describe(self) -> str:
+        names = [self.subgraph.graph.node(i).name for i in self.subgraph.node_ids]
+        brick = "x".join(map(str, self.brick_shape)) if self.brick_shape else "-"
+        return (
+            f"subgraph {self.index}: {len(names)} ops [{names[0]} .. {names[-1]}] "
+            f"-> {self.strategy.value} (brick {brick}, delta={self.delta:.1%}, "
+            f"rho={self.rho:.0f}) {self.reason}"
+        )
+
+
+@dataclass
+class ExecutionPlan:
+    """The compiled plan for a whole graph."""
+
+    graph: Graph
+    subgraphs: list[SubgraphPlan] = field(default_factory=list)
+
+    @property
+    def merged_count(self) -> int:
+        return sum(1 for s in self.subgraphs if s.is_merged)
+
+    def summary(self) -> str:
+        lines = [f"ExecutionPlan for {self.graph.name!r}: {len(self.subgraphs)} subgraphs "
+                 f"({self.merged_count} merged)"]
+        lines += ["  " + s.describe() for s in self.subgraphs]
+        return "\n".join(lines)

@@ -1,0 +1,27 @@
+"""Spatial model parallelism with halo exchange (paper section 5.2).
+
+The paper observes that "merged execution can be extended to enable
+fine-grained hybrid model parallelism for distributed DNN training",
+pointing at DistConv/DistDL-style spatial partitioning with halo exchanges.
+This subpackage implements that extension for inference on a simulated
+multi-GPU node:
+
+* activations are partitioned across ranks along the first spatial
+  dimension (each rank owns a contiguous slab);
+* per merged subgraph, each rank exchanges exactly the halo rows the
+  subgraph's *composed* receptive field requires (the same static analysis
+  that sizes padded bricks, section 3.2.1) and then computes its output
+  slab locally;
+* communication is modeled with a latency/bandwidth interconnect
+  (:class:`~repro.distributed.comm.CommModel`).
+
+The central tradeoff this makes measurable: merging more layers per
+subgraph means **fewer** halo exchanges of **wider** halos -- the
+communication-avoiding behavior that motivates merged execution for
+distributed training.
+"""
+
+from repro.distributed.comm import CommCounters, CommModel
+from repro.distributed.engine import DistributedResult, DistributedRunner
+
+__all__ = ["CommModel", "CommCounters", "DistributedRunner", "DistributedResult"]

@@ -1,0 +1,283 @@
+"""Distributed merged execution over spatially partitioned activations.
+
+Each of ``num_ranks`` simulated GPUs owns a contiguous slab of the first
+spatial dimension.  Execution proceeds subgraph by subgraph (the same
+partitioning the single-GPU engine uses):
+
+1. the composed receptive field of the whole subgraph (the padded-brick
+   static analysis of section 3.2.1) determines how many halo rows each
+   rank needs beyond its slab;
+2. ranks exchange exactly those rows (one neighbor-exchange step per
+   subgraph per entry activation) through the
+   :class:`~repro.distributed.comm.CommModel`;
+3. each rank computes its output slab locally -- including the redundant
+   halo recomputation, exactly like one giant padded brick.
+
+Merging more layers per subgraph therefore trades *more* halo volume and
+redundant compute per exchange for *fewer* exchanges -- the
+communication-avoiding tradeoff the paper's section 5.2 points at.
+
+The runner supports graphs whose operators are all mergeable
+(``op.is_local``): convolutional trunks, stencil chains, multigrid cycles.
+Classifier heads (global ops) belong on a single device after a gather.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.halo import required_regions
+from repro.core.partition import partition_graph
+from repro.core.perfmodel import DEFAULT_CONFIG, PerfModelConfig
+from repro.distributed.comm import CommCounters, CommModel
+from repro.errors import ExecutionError
+from repro.graph.ir import Graph
+from repro.graph.regions import Region
+from repro.graph.traversal import SubgraphView
+from repro.gpusim.spec import A100, GPUSpec
+from repro.kernels import apply_node_local, pad_value_for
+
+__all__ = ["DistributedRunner", "DistributedResult"]
+
+
+@dataclass
+class DistributedResult:
+    """Outputs and cost summary of one distributed run."""
+
+    outputs: dict[str, np.ndarray] | None
+    comm: CommCounters
+    compute_time_s: float
+    num_ranks: int
+    num_subgraphs: int
+    halo_rows_exchanged: int
+    per_rank_flops: list[float] = field(default_factory=list)
+
+    @property
+    def total_time_s(self) -> float:
+        return self.compute_time_s + self.comm.time_s
+
+    @property
+    def load_imbalance(self) -> float:
+        if not self.per_rank_flops or max(self.per_rank_flops) == 0:
+            return 0.0
+        return max(self.per_rank_flops) / (sum(self.per_rank_flops) / len(self.per_rank_flops)) - 1.0
+
+
+def _partition_rows(extent: int, num_ranks: int) -> list[tuple[int, int]]:
+    """Contiguous near-equal row ranges, one per rank."""
+    base, extra = divmod(extent, num_ranks)
+    bounds = []
+    lo = 0
+    for r in range(num_ranks):
+        hi = lo + base + (1 if r < extra else 0)
+        bounds.append((lo, hi))
+        lo = hi
+    return bounds
+
+
+class DistributedRunner:
+    """Run a mergeable graph across ``num_ranks`` simulated GPUs."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        num_ranks: int,
+        spec: GPUSpec = A100,
+        config: PerfModelConfig = DEFAULT_CONFIG,
+        comm: CommModel | None = None,
+        max_layers: int | None = None,
+        layer_schedule: tuple[int, ...] | None = None,
+    ) -> None:
+        graph.validate()
+        for node in graph.nodes:
+            if node.is_input:
+                continue
+            if node.op.is_global or not node.op.is_local:
+                raise ExecutionError(
+                    f"distributed execution requires mergeable ops; {node.name!r} "
+                    f"({node.op.kind}) is global -- gather to one rank for heads"
+                )
+        if num_ranks < 1:
+            raise ExecutionError("num_ranks must be >= 1")
+        min_extent = min(n.spec.spatial[0] for n in graph.nodes if n.spec.spatial)
+        if num_ranks > min_extent:
+            raise ExecutionError(
+                f"num_ranks={num_ranks} exceeds the smallest activation extent {min_extent}"
+            )
+        self.graph = graph
+        self.num_ranks = num_ranks
+        self.spec = spec
+        self.comm = comm if comm is not None else CommModel()
+        self.subgraphs = partition_graph(graph, spec, config, max_layers, layer_schedule)
+
+    # -- execution ---------------------------------------------------------
+    def run(self, x: np.ndarray | None = None, functional: bool = True) -> DistributedResult:
+        graph = self.graph
+        if functional:
+            graph.init_weights()
+            if x is None:
+                raise ExecutionError("functional distributed run requires an input array")
+            x = np.asarray(x, dtype=np.float32)
+
+        # Per boundary node: list over ranks of (row_lo, slab array|None).
+        input_node = graph.input_nodes[0]
+        extent0 = input_node.spec.spatial[0]
+        slabs: dict[int, list[tuple[int, int, np.ndarray | None]]] = {}
+        slabs[input_node.node_id] = [
+            (lo, hi, x[:, :, lo:hi] if functional else None)
+            for lo, hi in _partition_rows(extent0, self.num_ranks)
+        ]
+
+        compute_time = 0.0
+        halo_rows_total = 0
+        per_rank_flops = [0.0] * self.num_ranks
+
+        for view in self.subgraphs:
+            step_flops = [0.0] * self.num_ranks
+            messages: list[int] = []
+            for exit_id in view.exit_ids:
+                exit_node = graph.node(exit_id)
+                rows = _partition_rows(exit_node.spec.spatial[0], self.num_ranks)
+                new_slabs = []
+                for rank, (olo, ohi) in enumerate(rows):
+                    out_region = Region.from_bounds(
+                        [olo] + [0] * (exit_node.spec.spatial_ndim - 1),
+                        [ohi] + list(exit_node.spec.spatial[1:]),
+                    )
+                    required = required_regions(view, exit_id, out_region)
+                    patch, halo_rows, msg_sizes, flops = self._rank_compute(
+                        view, exit_id, rank, out_region, required, slabs, functional
+                    )
+                    new_slabs.append((olo, ohi, patch))
+                    halo_rows_total += halo_rows
+                    messages.extend(msg_sizes)
+                    step_flops[rank] += flops
+                slabs[exit_id] = new_slabs
+            # One neighbor-exchange step per subgraph (all entry halos move
+            # together), then all ranks compute; the step cost is the max.
+            self.comm.exchange_step(messages)
+            compute_time += max(
+                self.spec.task_time(f) if f else 0.0 for f in step_flops
+            )
+            for r in range(self.num_ranks):
+                per_rank_flops[r] += step_flops[r]
+
+        outputs = None
+        if functional:
+            outputs = {}
+            for out_node in graph.output_nodes:
+                pieces = [p for _, _, p in slabs[out_node.node_id]]
+                outputs[out_node.name] = np.concatenate(pieces, axis=2)
+        return DistributedResult(
+            outputs=outputs,
+            comm=self.comm.counters,
+            compute_time_s=compute_time,
+            num_ranks=self.num_ranks,
+            num_subgraphs=len(self.subgraphs),
+            halo_rows_exchanged=halo_rows_total,
+            per_rank_flops=per_rank_flops,
+        )
+
+    # -- per-rank subgraph evaluation -----------------------------------------
+    def _rank_compute(self, view, exit_id, rank, out_region, required, slabs, functional):
+        """Evaluate one rank's output slab for one subgraph exit.
+
+        Returns ``(patch, halo_rows, message_sizes, flops)``.
+        """
+        graph = self.graph
+        members = set(view.node_ids)
+        halo_rows = 0
+        msg_sizes: list[int] = []
+        flops = 0.0
+        values: dict[int, np.ndarray] = {}
+        covered: dict[int, Region] = {}
+
+        # Entry halos: rows needed beyond this rank's slab of each entry.
+        for eid in view.entry_ids:
+            if eid not in required:
+                continue
+            spec = graph.node(eid).spec
+            need = required[eid].clip(spec.spatial)
+            rank_slabs = slabs[eid]
+            olo, ohi, _ = rank_slabs[rank]
+            lo_halo = max(0, olo - need[0].lo)
+            hi_halo = max(0, need[0].hi - ohi)
+            halo_rows += lo_halo + hi_halo
+            row_bytes = spec.batch * spec.channels * math.prod(spec.spatial[1:]) * spec.itemsize
+            # A message per contributing neighbor per direction.
+            for direction, width in ((-1, lo_halo), (+1, hi_halo)):
+                remaining, neighbor = width, rank + direction
+                while remaining > 0 and 0 <= neighbor < self.num_ranks:
+                    nlo, nhi, _ = rank_slabs[neighbor]
+                    take = min(remaining, nhi - nlo)
+                    msg_sizes.append(take * row_bytes)
+                    remaining -= take
+                    neighbor += direction
+            if functional:
+                values[eid] = self._gather_rows(eid, need, rank_slabs)
+                covered[eid] = need
+
+        # Evaluate the subgraph on the halo-extended slab (one giant padded
+        # brick), accumulating the per-rank flops including halo recompute.
+        for nid in view.node_ids:
+            if nid not in required:
+                continue
+            node = graph.node(nid)
+            spec = node.spec
+            region = required[nid].clip(spec.spatial)
+            if region.is_empty():
+                covered[nid] = region
+                continue
+            input_specs = [graph.node(i).spec for i in node.inputs]
+            flops += node.op.flops(input_specs, spec.channels * region.size)
+            if functional:
+                fill = pad_value_for(node.op)
+                patches = []
+                offsets = (0,) * len(region)
+                for input_index, pred in enumerate(node.inputs):
+                    maps = node.op.rf_maps(input_specs, input_index)
+                    need = Region(m.in_interval(iv) for m, iv in zip(maps, region))
+                    offsets = tuple(m.local_out_offset(iv.lo, niv.lo)
+                                    for m, iv, niv in zip(maps, region, need))
+                    patches.append(_extract(values[pred], covered[pred], need, fill,
+                                            graph.node(pred).spec))
+                values[nid] = apply_node_local(node.op, patches, node.weights,
+                                               region.shape, offsets)[None]
+                covered[nid] = region
+
+        patch = None
+        if functional:
+            exit_region = required[exit_id].clip(graph.node(exit_id).spec.spatial)
+            full = values[exit_id]
+            sl = out_region.slices(origin=[iv.lo for iv in exit_region])
+            patch = np.ascontiguousarray(full[(slice(None), slice(None), *sl)])
+        return patch, halo_rows, msg_sizes, flops
+
+    def _gather_rows(self, eid: int, need: Region, rank_slabs) -> np.ndarray:
+        """Assemble the needed rows of an entry from the owning ranks."""
+        spec = self.graph.node(eid).spec
+        shape = (spec.batch, spec.channels, *need.shape)
+        out = np.zeros(shape, np.float32)
+        for lo, hi, slab in rank_slabs:
+            olo = max(lo, need[0].lo)
+            ohi = min(hi, need[0].hi)
+            if olo >= ohi:
+                continue
+            rest = tuple(slice(iv.lo, iv.hi) for iv in need[1:])
+            out[:, :, olo - need[0].lo:ohi - need[0].lo] = slab[(slice(None), slice(None),
+                                                                 slice(olo - lo, ohi - lo), *rest)]
+        return out
+
+
+def _extract(values: np.ndarray, covered: Region, needed: Region, fill: float, spec) -> np.ndarray:
+    """Slice ``needed`` out of a (N, C, *covered.shape) patch with fill."""
+    out = np.full((values.shape[1], *needed.shape), fill, dtype=values.dtype)
+    ov = needed.intersect(covered)
+    if not ov.is_empty():
+        dst = (slice(None), *ov.slices(origin=[iv.lo for iv in needed]))
+        src = (0, slice(None), *ov.slices(origin=[iv.lo for iv in covered]))
+        out[dst] = values[src]
+    return out

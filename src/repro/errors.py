@@ -1,0 +1,35 @@
+"""Exception hierarchy for the repro (BrickDL reproduction) library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch one type at the API boundary.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ShapeError(ReproError):
+    """An operator was given tensors whose shapes are incompatible."""
+
+
+class GraphError(ReproError):
+    """A DNN graph is structurally invalid (cycles, dangling edges, ...)."""
+
+
+class UnsupportedOpError(ReproError):
+    """An operator is not supported by the requested execution backend."""
+
+
+class PlanError(ReproError):
+    """An execution plan could not be constructed or is inconsistent."""
+
+
+class ExecutionError(ReproError):
+    """A runtime failure during plan execution."""
+
+
+class LayoutError(ReproError):
+    """A brick-layout operation was used inconsistently (bad grid, size...)."""

@@ -1,0 +1,39 @@
+"""Simulated GPU substrate (A100-class) for the BrickDL reproduction.
+
+The paper's entire evaluation is expressed in terms of hardware counters
+(L1/L2/DRAM transactions, atomic transactions from Nsight Compute) and times
+derived from them (``T_DRAM = N_txn / R_txn``, modeled atomic and compute
+time, sections 4.2-4.3).  This subpackage reproduces that measurement
+apparatus in simulation:
+
+* :mod:`repro.gpusim.spec` -- device parameter presets (A100 default),
+* :mod:`repro.gpusim.trace` -- byte-range access records and tasks,
+* :mod:`repro.gpusim.cache` -- sector-granular LRU caches,
+* :mod:`repro.gpusim.memory` -- L1 -> L2 -> DRAM transaction accounting,
+* :mod:`repro.gpusim.atomics` -- atomic CAS cost accounting,
+* :mod:`repro.gpusim.timing` -- the cost model producing the paper's
+  Idle / DRAM / Compute / Atomics / Other breakdown,
+* :mod:`repro.gpusim.device` -- the Device facade executors run against.
+"""
+
+from repro.gpusim.spec import GPUSpec, A100
+from repro.gpusim.trace import Access, Task, Buffer
+from repro.gpusim.memory import MemorySystem, MemoryCounters
+from repro.gpusim.atomics import AtomicCounters
+from repro.gpusim.timing import TimeBreakdown, compute_breakdown
+from repro.gpusim.device import Device, RunMetrics
+
+__all__ = [
+    "GPUSpec",
+    "A100",
+    "Access",
+    "Task",
+    "Buffer",
+    "MemorySystem",
+    "MemoryCounters",
+    "AtomicCounters",
+    "TimeBreakdown",
+    "compute_breakdown",
+    "Device",
+    "RunMetrics",
+]

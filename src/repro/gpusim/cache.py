@@ -1,0 +1,108 @@
+"""Sector-granular LRU cache model.
+
+Residency is tracked at *sector* granularity (a power-of-two byte quantum,
+coarser than the 32 B transaction size) to keep simulation tractable while
+transaction counts stay exact-to-the-byte: the cache reports hit/miss *byte*
+spans per access, and the memory system converts byte spans into 32 B
+transactions.
+
+Write policy is write-allocate with dirty-byte tracking; evictions report how
+many dirty bytes must be written downstream.  ``discard`` drops a buffer's
+sectors without write-back (transient data dying on-device).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator
+
+__all__ = ["SectorCache", "SpanResult"]
+
+
+class SpanResult:
+    """Byte accounting for one access: how much hit, how much missed."""
+
+    __slots__ = ("hit_bytes", "miss_bytes")
+
+    def __init__(self, hit_bytes: int = 0, miss_bytes: int = 0) -> None:
+        self.hit_bytes = hit_bytes
+        self.miss_bytes = miss_bytes
+
+
+class SectorCache:
+    """A fully-associative LRU cache over ``(buffer_id, sector)`` keys."""
+
+    def __init__(self, capacity_bytes: int, sector_bytes: int) -> None:
+        if sector_bytes <= 0 or capacity_bytes < sector_bytes:
+            raise ValueError(f"bad cache geometry: capacity={capacity_bytes}, sector={sector_bytes}")
+        self.sector_bytes = int(sector_bytes)
+        self.capacity_sectors = int(capacity_bytes) // self.sector_bytes
+        # key -> dirty byte count for that sector (0 = clean)
+        self._lru: OrderedDict[tuple[int, int], int] = OrderedDict()
+        self.evicted_dirty_bytes = 0
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    def _sectors(self, offset: int, nbytes: int) -> Iterator[tuple[int, int]]:
+        """Yield ``(sector_index, bytes_of_access_in_sector)``."""
+        sb = self.sector_bytes
+        first = offset // sb
+        last = (offset + nbytes - 1) // sb
+        if first == last:
+            yield first, nbytes
+            return
+        yield first, (first + 1) * sb - offset
+        for s in range(first + 1, last):
+            yield s, sb
+        yield last, offset + nbytes - last * sb
+
+    def access(self, buffer_id: int, offset: int, nbytes: int, write: bool) -> SpanResult:
+        """Touch a byte range; returns hit/miss byte accounting.
+
+        Misses allocate the sector (write-allocate); LRU eviction accumulates
+        ``evicted_dirty_bytes`` for downstream write-back accounting.
+        """
+        result = SpanResult()
+        if nbytes <= 0:
+            return result
+        lru = self._lru
+        for sector, span in self._sectors(offset, nbytes):
+            key = (buffer_id, sector)
+            dirty = lru.get(key)
+            if dirty is None:
+                result.miss_bytes += span
+                lru[key] = min(span, self.sector_bytes) if write else 0
+                if len(lru) > self.capacity_sectors:
+                    _, evicted_dirty = lru.popitem(last=False)
+                    self.evicted_dirty_bytes += evicted_dirty
+            else:
+                result.hit_bytes += span
+                lru.move_to_end(key)
+                if write:
+                    lru[key] = min(self.sector_bytes, dirty + span)
+        return result
+
+    def discard(self, buffer_id: int) -> int:
+        """Drop all sectors of a buffer without write-back; returns count."""
+        doomed = [k for k in self._lru if k[0] == buffer_id]
+        for k in doomed:
+            del self._lru[k]
+        return len(doomed)
+
+    def flush(self) -> int:
+        """Write back all dirty bytes; returns the number of dirty bytes."""
+        dirty = sum(self._lru.values())
+        for key in self._lru:
+            self._lru[key] = 0
+        return dirty
+
+    def drain_evicted_dirty(self) -> int:
+        """Return and reset the dirty bytes evicted since the last drain."""
+        d = self.evicted_dirty_bytes
+        self.evicted_dirty_bytes = 0
+        return d
+
+    def clear(self) -> None:
+        self._lru.clear()
+        self.evicted_dirty_bytes = 0

@@ -1,0 +1,129 @@
+"""The Device facade: what execution strategies run against.
+
+A :class:`Device` owns one memory system and one atomic-counter set for a
+run.  Executors allocate buffers, submit :class:`~repro.gpusim.trace.Task`
+objects (each task's accesses are pushed through the memory hierarchy as it
+is submitted, so L2 state evolves in issue order -- the property merged
+execution exploits), and finally call :meth:`finish` to obtain the
+:class:`RunMetrics` with counters and the paper-style time breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpusim.atomics import AtomicCounters
+from repro.gpusim.memory import MemoryCounters, MemorySystem
+from repro.gpusim.spec import A100, GPUSpec
+from repro.gpusim.timing import TimeBreakdown, compute_breakdown
+from repro.gpusim.trace import Buffer, Task
+
+__all__ = ["Device", "RunMetrics"]
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """Everything a benchmark needs about one execution."""
+
+    memory: MemoryCounters
+    atomics: AtomicCounters
+    time: TimeBreakdown
+    num_tasks: int
+    total_flops: float
+
+    @property
+    def dram_time(self) -> float:
+        return self.time.dram
+
+    @property
+    def total_time(self) -> float:
+        return self.time.total
+
+
+class Device:
+    """A simulated GPU for the duration of one execution run."""
+
+    def __init__(self, spec: GPUSpec = A100) -> None:
+        self.spec = spec
+        self.memory = MemorySystem(spec)
+        self.atomics = AtomicCounters()
+        self._tasks: list[Task] = []
+        self._sync_count = 0
+        self._extra_overhead = 0.0
+        self._finished = False
+
+    # -- buffers -------------------------------------------------------------
+    def allocate(self, name: str, nbytes: int, transient: bool = False) -> Buffer:
+        return self.memory.allocate(name, nbytes, transient)
+
+    def discard(self, buffer: Buffer) -> None:
+        self.memory.discard(buffer)
+
+    # -- execution -----------------------------------------------------------
+    def submit(self, task: Task) -> None:
+        """Run one fine-grained kernel invocation through the hierarchy."""
+        self.memory.begin_task()
+        for access in task.accesses:
+            self.memory.process(access)
+        self.atomics.compulsory += task.atomics_compulsory
+        self.atomics.conflict += task.atomics_conflict
+        self._tasks.append(task)
+
+    def synchronize(self) -> None:
+        """Record one device-wide synchronization barrier."""
+        self._sync_count += 1
+
+    def add_overhead(self, seconds: float) -> None:
+        self._extra_overhead += seconds
+
+    # -- incremental attribution ------------------------------------------------
+    def snapshot(self) -> tuple:
+        """Opaque cursor of the counters, for per-phase attribution."""
+        c = self.memory.counters
+        return (c.l1_txns, c.l2_txns, c.dram_read_txns, c.dram_write_txns,
+                self.atomics.compulsory, self.atomics.conflict,
+                len(self._tasks), self._sync_count, self._extra_overhead)
+
+    def delta_since(self, snap: tuple) -> dict:
+        """Counter growth since :meth:`snapshot` (for phase breakdowns)."""
+        c = self.memory.counters
+        tasks = self._tasks[snap[6]:]
+        return {
+            "l1_txns": c.l1_txns - snap[0],
+            "l2_txns": c.l2_txns - snap[1],
+            "dram_txns": (c.dram_read_txns - snap[2]) + (c.dram_write_txns - snap[3]),
+            "atomics_compulsory": self.atomics.compulsory - snap[4],
+            "atomics_conflict": self.atomics.conflict - snap[5],
+            "num_tasks": len(tasks),
+            "flops": float(sum(t.flops for t in tasks)),
+            "syncs": self._sync_count - snap[7],
+            "overhead_s": self._extra_overhead - snap[8],
+            "dram_time_s": ((c.dram_read_txns - snap[2]) + (c.dram_write_txns - snap[3]))
+                           / self.spec.txn_rate,
+        }
+
+    # -- results ------------------------------------------------------------
+    @property
+    def tasks(self) -> tuple[Task, ...]:
+        return tuple(self._tasks)
+
+    def finish(self) -> RunMetrics:
+        """Flush persistent dirty data and compute the final breakdown."""
+        if not self._finished:
+            self.memory.flush()
+            self._finished = True
+        breakdown = compute_breakdown(
+            self.spec,
+            self._tasks,
+            self.memory.counters,
+            self.atomics,
+            sync_count=self._sync_count,
+            extra_overhead_s=self._extra_overhead,
+        )
+        return RunMetrics(
+            memory=self.memory.counters,
+            atomics=self.atomics,
+            time=breakdown,
+            num_tasks=len(self._tasks),
+            total_flops=float(sum(t.flops for t in self._tasks)),
+        )

@@ -1,0 +1,283 @@
+"""Memory-hierarchy simulation: access streams -> transaction counters.
+
+Models the A100 path **global memory -> L2 -> DRAM** with the counters the
+paper reads from Nsight Compute (Fig. 9):
+
+* *Global (L1) transactions* -- every byte a kernel requests, counted in
+  32 B aligned lines.  Padded bricks request halo bytes and keep their
+  intermediate patches in thread-block-local storage (``on_chip`` accesses),
+  so their L1 count rises mechanically -- the paper's "overfetch".
+* *L2 transactions* -- requests that miss the per-task L1 (GPU L1s are
+  write-through, so stores always reach L2).
+* *DRAM transactions* -- L2 read misses plus write-backs of evicted or
+  flushed dirty data.
+
+Two residency models share the L2 capacity figure, matched to the two access
+classes in the workloads:
+
+* **Sector LRU** for blocked (brick) traffic: bricks are contiguous and
+  re-read by spatial neighbors shortly after being written, so residency is
+  tracked exactly, at sector granularity, in true access order.  This is
+  what makes merged execution's temporal locality measurable.
+* **Analytic per-buffer residency** for dense row-major traffic
+  (``Access.dense``): tiled/slabbed kernels sweep whole activations whose
+  strided segments are far finer than any tractable tracking granularity.
+  Residency is kept per buffer with strict-LRU semantics: a buffer larger
+  than the capacity gives *zero* re-read reuse (cyclic LRU thrash -- this is
+  precisely why layer-by-layer execution streams through DRAM), a smaller
+  buffer hits in proportion to its resident fraction.
+
+The two models each see the full capacity (they never evict each other);
+runs are dominated by one class at a time, and EXPERIMENTS.md notes the
+approximation.  The per-task L1 is reset per task: each fine-grained kernel
+invocation runs on a fresh thread block.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.gpusim.cache import SectorCache
+from repro.gpusim.spec import GPUSpec
+from repro.gpusim.trace import Access, Buffer
+
+__all__ = ["MemoryCounters", "MemorySystem", "AnalyticResidency"]
+
+
+def _lines(offset: int, nbytes: int, line: int) -> int:
+    """32 B-aligned lines touched by a byte range (alignment overfetch)."""
+    if nbytes <= 0:
+        return 0
+    return (offset + nbytes - 1) // line - offset // line + 1
+
+
+def _txns(nbytes: int, line: int) -> int:
+    return -(-int(nbytes) // line) if nbytes > 0 else 0
+
+
+@dataclass
+class MemoryCounters:
+    """Nsight-style transaction counters (32 B units)."""
+
+    l1_txns: int = 0
+    l2_txns: int = 0
+    dram_read_txns: int = 0
+    dram_write_txns: int = 0
+
+    @property
+    def dram_txns(self) -> int:
+        return self.dram_read_txns + self.dram_write_txns
+
+    @property
+    def dram_bytes(self) -> int:
+        return self.dram_txns * 32
+
+    def merged_with(self, other: "MemoryCounters") -> "MemoryCounters":
+        return MemoryCounters(
+            self.l1_txns + other.l1_txns,
+            self.l2_txns + other.l2_txns,
+            self.dram_read_txns + other.dram_read_txns,
+            self.dram_write_txns + other.dram_write_txns,
+        )
+
+
+class AnalyticResidency:
+    """Per-buffer L2 residency for dense row-major activations.
+
+    Tracks ``(resident_bytes, dirty_bytes)`` per buffer in LRU order.
+    Strict-LRU semantics for re-reads: a buffer that does not fit the
+    capacity yields no read reuse at all (cyclic thrash), a fitting buffer
+    hits in proportion to its resident fraction.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = int(capacity)
+        self._entries: OrderedDict[int, list[int]] = OrderedDict()  # id -> [resident, dirty]
+
+    def total(self) -> int:
+        return sum(e[0] for e in self._entries.values())
+
+    def read(self, buffer: Buffer, touched: int) -> tuple[int, int]:
+        """Returns ``(hit_bytes, miss_bytes)``; misses become resident."""
+        if buffer.nbytes > self.capacity:
+            # Streaming: no reuse, and do not pollute residency.
+            return 0, touched
+        entry = self._entries.get(buffer.buffer_id)
+        resident = entry[0] if entry else 0
+        hit = min(touched, touched * resident // max(buffer.nbytes, 1))
+        miss = touched - hit
+        self._insert(buffer, miss, dirty=0)
+        return hit, miss
+
+    def write(self, buffer: Buffer, written: int) -> int:
+        """Returns dirty bytes immediately spilled to DRAM (overflow)."""
+        if buffer.nbytes > self.capacity:
+            # Larger-than-cache outputs stream their overflow to DRAM; keep
+            # nothing resident (strict-LRU re-reads would miss anyway).
+            return written
+        return self._insert(buffer, written, dirty=written)
+
+    def _insert(self, buffer: Buffer, nbytes: int, dirty: int) -> int:
+        entry = self._entries.setdefault(buffer.buffer_id, [0, 0])
+        entry[0] = min(buffer.nbytes, entry[0] + nbytes)
+        entry[1] = min(entry[0], entry[1] + dirty)
+        self._entries.move_to_end(buffer.buffer_id)
+        spilled = 0
+        while self.total() > self.capacity and len(self._entries) > 1:
+            _, (res, drt) = self._entries.popitem(last=False)
+            spilled += drt
+        return spilled
+
+    def discard(self, buffer_id: int) -> None:
+        self._entries.pop(buffer_id, None)
+
+    def flush(self, keep_transient: dict[int, Buffer]) -> int:
+        dirty = 0
+        for bid, entry in self._entries.items():
+            buf = keep_transient.get(bid)
+            if entry[1] and (buf is None or not buf.transient):
+                dirty += entry[1]
+            entry[1] = 0
+        return dirty
+
+
+class MemorySystem:
+    """Processes access streams and accumulates transaction counters."""
+
+    def __init__(self, spec: GPUSpec) -> None:
+        self.spec = spec
+        self.line = spec.transaction_bytes
+        self.l2 = SectorCache(spec.l2_bytes, spec.l2_sector_bytes)
+        self.l1 = SectorCache(spec.l1_bytes, spec.l1_sector_bytes)
+        self.analytic = AnalyticResidency(spec.l2_bytes)
+        self.counters = MemoryCounters()
+        self._buffers: dict[int, Buffer] = {}
+        # Streaming fast-path threshold for contiguous blocked accesses: one
+        # access this large sweeps the whole L2; count it arithmetically.
+        self._stream_threshold = 4 * spec.l2_bytes
+        # Pinned buffers (hot weights): resident in L2 after first touch,
+        # accounted arithmetically instead of through the LRU.  Only sound
+        # while the pinned working set is small relative to L2 -- the engine
+        # pins one subgraph's weights at a time.
+        self._pinned: set[int] = set()
+        self._pinned_seen: set[int] = set()
+
+    # -- allocation ---------------------------------------------------------
+    def register(self, buffer: Buffer) -> Buffer:
+        self._buffers[buffer.buffer_id] = buffer
+        return buffer
+
+    def allocate(self, name: str, nbytes: int, transient: bool = False) -> Buffer:
+        return self.register(Buffer.new(name, nbytes, transient))
+
+    def pin(self, buffer: Buffer) -> None:
+        """Mark a buffer L2-resident-after-first-touch (hot weights)."""
+        self._pinned.add(buffer.buffer_id)
+
+    def unpin(self, buffer: Buffer) -> None:
+        self._pinned.discard(buffer.buffer_id)
+        self._pinned_seen.discard(buffer.buffer_id)
+
+    # -- task lifecycle -------------------------------------------------------
+    def begin_task(self) -> None:
+        """Start a new thread block: L1 state does not carry over."""
+        self.l1.clear()
+
+    def process(self, access: Access) -> None:
+        c = self.counters
+        total = access.total_bytes
+        if access.reps:
+            c.l1_txns += _lines(access.offset, access.nbytes, self.line) * access.segments
+        else:
+            c.l1_txns += _lines(access.offset, access.nbytes, self.line)
+        if access.on_chip:
+            return  # thread-block private: never leaves the SM
+        if access.assume_l2:
+            # Executor-certified L2 hit (protocol-coalesced consumer read).
+            c.l2_txns += _txns(total, self.line)
+            return
+        if access.buffer.buffer_id in self._pinned:
+            c.l2_txns += _txns(total, self.line)
+            if access.buffer.buffer_id not in self._pinned_seen:
+                self._pinned_seen.add(access.buffer.buffer_id)
+                c.dram_read_txns += _txns(access.buffer.nbytes, self.line)
+            return
+        if access.dense or access.reps:
+            self._dense(access, total)
+        elif access.write:
+            self._blocked_write(access)
+        else:
+            self._blocked_read(access)
+
+    # -- dense path ---------------------------------------------------------
+    def _dense(self, access: Access, total: int) -> None:
+        c = self.counters
+        c.l2_txns += _txns(total, self.line)  # write-through / L1 too small
+        if access.write:
+            spilled = self.analytic.write(access.buffer, total)
+            c.dram_write_txns += _txns(spilled, self.line)
+        else:
+            _, miss = self.analytic.read(access.buffer, total)
+            c.dram_read_txns += _txns(miss, self.line)
+
+    # -- blocked (brick) path ----------------------------------------------
+    def _blocked_read(self, buffer_or_access: Access) -> None:
+        a = buffer_or_access
+        c = self.counters
+        if a.nbytes >= self._stream_threshold:
+            self._stream(a.nbytes, write=False)
+            return
+        r1 = self.l1.access(a.buffer.buffer_id, a.offset, a.nbytes, write=False)
+        if r1.miss_bytes:
+            c.l2_txns += _txns(r1.miss_bytes, self.line)
+            r2 = self.l2.access(a.buffer.buffer_id, a.offset, a.nbytes, write=False)
+            if r2.miss_bytes:
+                c.dram_read_txns += _txns(r2.miss_bytes, self.line)
+            self._drain_evictions()
+
+    def _blocked_write(self, a: Access) -> None:
+        c = self.counters
+        if a.nbytes >= self._stream_threshold:
+            self._stream(a.nbytes, write=True)
+            return
+        # Write-through L1: stores always generate L2 traffic.
+        c.l2_txns += _lines(a.offset, a.nbytes, self.line)
+        self.l1.access(a.buffer.buffer_id, a.offset, a.nbytes, write=True)
+        self.l2.access(a.buffer.buffer_id, a.offset, a.nbytes, write=True)
+        self._drain_evictions()
+
+    def _stream(self, nbytes: int, write: bool) -> None:
+        """Arithmetic accounting for accesses that sweep the entire L2."""
+        c = self.counters
+        txns = _txns(nbytes, self.line)
+        c.l2_txns += txns
+        if write:
+            c.dram_write_txns += txns
+        else:
+            c.dram_read_txns += txns
+        c.dram_write_txns += _txns(self.l2.flush(), self.line)
+        self.l2.clear()
+
+    def _drain_evictions(self) -> None:
+        dirty = self.l2.drain_evicted_dirty()
+        if dirty:
+            self.counters.dram_write_txns += _txns(dirty, self.line)
+
+    # -- lifetime management -----------------------------------------------
+    def discard(self, buffer: Buffer) -> None:
+        """Drop a (transient) buffer's cached data without write-back."""
+        self.l1.discard(buffer.buffer_id)
+        self.l2.discard(buffer.buffer_id)
+        self.analytic.discard(buffer.buffer_id)
+
+    def flush(self) -> None:
+        """End of run: write back dirty data of *persistent* buffers."""
+        dirty = 0
+        for key, dirty_bytes in list(self.l2._lru.items()):
+            buf = self._buffers.get(key[0])
+            if dirty_bytes and (buf is None or not buf.transient):
+                dirty += dirty_bytes
+                self.l2._lru[key] = 0
+        dirty += self.analytic.flush(self._buffers)
+        self.counters.dram_write_txns += _txns(dirty, self.line)

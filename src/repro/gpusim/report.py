@@ -1,0 +1,53 @@
+"""Profiler-style text reports from run metrics.
+
+Formats a :class:`~repro.gpusim.device.RunMetrics` the way the paper reads
+Nsight Compute: transaction counters per memory level, atomic transactions,
+and the derived time breakdown (DRAM time via ``N_txn / R_txn``, modeled
+compute/atomic time, Idle and Other residuals).
+"""
+
+from __future__ import annotations
+
+from repro.gpusim.device import RunMetrics
+from repro.gpusim.spec import GPUSpec
+
+__all__ = ["profile_report"]
+
+
+def _fmt_txns(n: int) -> str:
+    if n >= 10 ** 9:
+        return f"{n / 1e9:.2f}G"
+    if n >= 10 ** 6:
+        return f"{n / 1e6:.2f}M"
+    if n >= 10 ** 3:
+        return f"{n / 1e3:.1f}K"
+    return str(n)
+
+
+def profile_report(metrics: RunMetrics, spec: GPUSpec, title: str = "run") -> str:
+    """A compact Nsight-like profile of one simulated execution."""
+    m, a, t = metrics.memory, metrics.atomics, metrics.time
+    total = t.total or 1.0
+    lines = [
+        f"== profile: {title} ({spec.name}) ==",
+        f"  kernel invocations (tasks) ... {metrics.num_tasks}",
+        f"  floating point ops ........... {metrics.total_flops / 1e9:.3f} GFLOP",
+        "",
+        "  memory transactions (32 B):",
+        f"    global (L1) ................ {_fmt_txns(m.l1_txns)}",
+        f"    L2 ......................... {_fmt_txns(m.l2_txns)}",
+        f"    DRAM read / write .......... {_fmt_txns(m.dram_read_txns)} / {_fmt_txns(m.dram_write_txns)}",
+        f"    DRAM bytes ................. {m.dram_bytes / 1e6:.2f} MB",
+        "",
+        "  atomic transactions:",
+        f"    compulsory / conflict ...... {a.compulsory} / {a.conflict}",
+        "",
+        "  time breakdown (paper derivations):",
+        f"    total ...................... {t.total * 1e3:9.3f} ms",
+        f"    DRAM (N_txn / R_txn) ....... {t.dram * 1e3:9.3f} ms ({t.dram / total:5.1%})",
+        f"    idle (total - DRAM) ........ {t.idle * 1e3:9.3f} ms",
+        f"    compute (SM-wave model) .... {t.compute * 1e3:9.3f} ms ({t.compute / total:5.1%})",
+        f"    atomics comp. / conflict ... {t.atomics_compulsory * 1e3:.3f} / {t.atomics_conflict * 1e3:.3f} ms",
+        f"    other (residual) ........... {t.other * 1e3:9.3f} ms",
+    ]
+    return "\n".join(lines)

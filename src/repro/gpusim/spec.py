@@ -1,0 +1,105 @@
+"""GPU device parameter presets.
+
+The defaults model the NVIDIA A100 of the paper's testbed (section 4.1): 108
+SMs, 192 KB combined L1/shared-memory per SM, 40 MB shared L2, 40 GB HBM at
+1.5 TB/s, 32-byte DRAM transactions.
+
+Two calibrated *effective-rate* constants tie the timing model to the paper's
+own microbenchmarks (section 4.3):
+
+* ``atomic_time_s = 87.45 ns`` -- the paper's measured per-CAS cost,
+* ``sm_gflops_effective`` and ``call_overhead_s`` are chosen so that the
+  brick-compute microbenchmark (8x8x8 brick, 3x3x3 single-channel filter)
+  yields the paper's ``T_brick = 6.72 us``:
+  ``4.4 us + (512 * 27 * 2) / 12 GF/s = 6.7 us``.
+
+Fine-grained device-side cuDNN invocations run far below peak (the paper's
+own totals imply ~1.3 TF/s effective device-wide for such call patterns),
+which is what these constants encode.  Alternative presets support the
+ablation benchmarks (smaller L2, different SM counts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["GPUSpec", "A100", "MI100", "A100_SMALL_L2", "GENERIC_16SM"]
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Parameters of the simulated device and its cost model."""
+
+    name: str = "A100"
+    num_sms: int = 108
+    l1_bytes: int = 192 * 1024          # combined L1/shared memory per SM
+    l2_bytes: int = 40 * 1024 * 1024
+    dram_bytes: int = 40 * 1024 ** 3
+    dram_bandwidth: float = 1.5e12      # bytes / second
+    transaction_bytes: int = 32         # DRAM transaction granularity
+    l1_sector_bytes: int = 256          # residency tracking granularity
+    l2_sector_bytes: int = 2048
+
+    # Calibrated timing constants (see module docstring).
+    sm_gflops_effective: float = 12.0   # per-SM effective GF/s for brick calls
+    call_overhead_s: float = 4.4e-6     # per fine-grained kernel invocation
+    atomic_time_s: float = 87.45e-9     # per atomic CAS (paper, section 4.3.1)
+    sync_time_s: float = 25e-6          # device-wide synchronization barrier
+    memo_visit_s: float = 0.15e-6       # memo-table bookkeeping per recursion step
+    # Fraction of the smaller of (DRAM time, compute time) hidden by
+    # memory/compute overlap: 0 = fully serialized, 1 = perfect overlap.
+    # The paper's analysis assumes perfect overlap (section 4.4), and the
+    # case-study bar charts are constructed on that premise; we default to a
+    # high-but-imperfect 0.9 so compute-bound configurations still surface.
+    overlap_efficiency: float = 0.9
+    # A worker stalled on an in-progress brick re-issues its CAS at this
+    # interval (hardware spin-wait with backoff); drives the conflict-atomic
+    # counts of the memoized strategy.
+    spin_interval_s: float = 5e-6
+
+    # Effective DRAM transaction service rate ``R_txn``.  The paper states
+    # "an R_txn of 46M txn/s" (section 4.2).  The raw formula
+    # bandwidth / 32 B gives 46.9 *G* txn/s, but the paper's *plotted* DRAM
+    # times -- a large visible fraction of every bar in Figs. 7-11 -- are only
+    # consistent with the 46M number, which effectively folds per-transaction
+    # latency/occupancy into the rate.  We follow the paper's constant so the
+    # memory/compute balance of the figures is reproduced; see EXPERIMENTS.md.
+    dram_txn_rate: float = 46.9e6
+
+    @property
+    def txn_rate(self) -> float:
+        """DRAM transaction service rate ``R_txn`` (transactions/second)."""
+        return self.dram_txn_rate
+
+    @property
+    def sm_flops(self) -> float:
+        return self.sm_gflops_effective * 1e9
+
+    def task_time(self, flops: int | float, calls: int = 1) -> float:
+        """Modeled execution time of a task comprising ``calls`` fine-grained
+        kernel invocations totalling ``flops`` floating point operations."""
+        return calls * self.call_overhead_s + float(flops) / self.sm_flops
+
+    def with_l2(self, l2_bytes: int) -> "GPUSpec":
+        return replace(self, l2_bytes=int(l2_bytes), name=f"{self.name}-l2={l2_bytes // (1024 * 1024)}MB")
+
+
+A100 = GPUSpec()
+
+# AMD MI100-class preset: the paper notes the delta threshold "has been
+# validated on multiple NVIDIA and AMD GPU architectures"; this preset lets
+# the ablations check the models against a different cache/SM balance
+# (120 CUs, 8 MB L2, ~1.2 TB/s HBM2).
+MI100 = replace(
+    A100,
+    name="MI100",
+    num_sms=120,
+    l1_bytes=64 * 1024,
+    l2_bytes=8 * 1024 * 1024,
+    dram_bandwidth=1.2e12,
+    dram_txn_rate=37.5e6,  # scaled with bandwidth, same latency folding
+)
+
+# Ablation presets.
+A100_SMALL_L2 = A100.with_l2(10 * 1024 * 1024)
+GENERIC_16SM = replace(A100, name="generic-16sm", num_sms=16)

@@ -1,0 +1,146 @@
+"""Access-trace primitives: buffers, byte-range accesses, and tasks.
+
+Executors describe their memory behavior as streams of byte-range accesses
+against named buffers; the memory system converts those streams into
+transaction counts.  A :class:`Task` is one fine-grained kernel invocation
+(a brick or tile computation) with its accesses, flop count and atomic
+activity -- the unit the SM scheduler places on the device.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+__all__ = ["Buffer", "Access", "Task"]
+
+_buffer_ids = itertools.count()
+
+
+@dataclass(frozen=True)
+class Buffer:
+    """A device memory allocation.
+
+    ``transient`` buffers hold data that dies on-device (scratch bricks,
+    intermediate activations inside a merged subgraph): they are discarded
+    without DRAM write-back, modeling BrickDL's reuse of L2-resident
+    intermediates (the "point of synchronization is L2", section 3.2.2).
+    Persistent buffers (weights, subgraph inputs/outputs) write back.
+    """
+
+    buffer_id: int
+    name: str
+    nbytes: int
+    transient: bool = False
+
+    @staticmethod
+    def new(name: str, nbytes: int, transient: bool = False) -> "Buffer":
+        return Buffer(next(_buffer_ids), name, int(nbytes), transient)
+
+    @property
+    def kb(self) -> float:
+        return self.nbytes / 1024.0
+
+
+@dataclass(frozen=True)
+class Access:
+    """A byte-range load or store, possibly strided.
+
+    ``reps`` describes nested repetition of the innermost contiguous segment
+    (row-major region reads): each ``(count, stride)`` pair repeats the
+    pattern ``count`` times at ``stride`` byte spacing, outermost first.  A
+    plain contiguous access has ``reps == ()``.  E.g. reading a ``(C, h, w)``
+    sub-box of a row-major ``(C, H, W)`` tensor is one access with segment
+    ``w * itemsize`` and ``reps = ((C, H*W*item), (h, W*item))``.
+
+    ``dense`` marks dense-activation traffic (row-major tensors; modeled with
+    the analytic per-buffer residency model); unset means blocked/brick
+    traffic (modeled with the sector LRU).  ``on_chip`` marks thread-block
+    private traffic that never leaves the SM (padded-brick intermediate
+    patches): it counts L1 transactions only.
+
+    ``assume_l2`` marks reads the *executor* already knows are L2-resident:
+    the memoized protocol synchronizes a brick's consumers around its
+    completion, so they read it while it is still cached; a serialized
+    simulation would otherwise charge those temporally-coalesced reads as
+    capacity misses (see the memoized executor's coalescing window).
+    """
+
+    buffer: Buffer
+    offset: int
+    nbytes: int
+    write: bool = False
+    reps: tuple[tuple[int, int], ...] = ()
+    dense: bool = False
+    on_chip: bool = False
+    assume_l2: bool = False
+
+    def __post_init__(self) -> None:
+        if self.offset < 0 or self.nbytes < 0:
+            raise ValueError(f"negative access geometry: {self}")
+        if any(c < 1 or s < 0 for c, s in self.reps):
+            raise ValueError(f"invalid reps: {self.reps}")
+        if self.offset + self.span > self.buffer.nbytes:
+            raise ValueError(
+                f"access [{self.offset}, {self.offset + self.span}) exceeds "
+                f"buffer {self.buffer.name!r} of {self.buffer.nbytes} bytes"
+            )
+
+    @property
+    def segments(self) -> int:
+        n = 1
+        for c, _ in self.reps:
+            n *= c
+        return n
+
+    @property
+    def total_bytes(self) -> int:
+        return self.segments * self.nbytes
+
+    @property
+    def span(self) -> int:
+        """Extent from offset to the end of the last segment."""
+        end = self.nbytes
+        for c, s in self.reps:
+            end += (c - 1) * s
+        return end
+
+
+@dataclass
+class Task:
+    """One fine-grained kernel invocation (brick/tile computation).
+
+    ``atomics_compulsory`` / ``atomics_conflict`` follow the paper's 3C-style
+    split (section 4.4): two compulsory CAS per memoized brick (acquire +
+    release), conflicts when a dependent brick is found in-progress.
+    ``visits`` counts memo-table lookups (recursion overhead, lands in the
+    "Other" time).
+    """
+
+    label: str
+    flops: float = 0.0
+    accesses: list[Access] = field(default_factory=list)
+    atomics_compulsory: int = 0
+    atomics_conflict: int = 0
+    visits: int = 0
+    calls: int = 1  # fine-grained kernel invocations inside this task
+
+    def read(self, buffer: Buffer, offset: int, nbytes: int, reps: tuple[tuple[int, int], ...] = (),
+             dense: bool = False, on_chip: bool = False, assume_l2: bool = False) -> None:
+        if nbytes > 0:
+            self.accesses.append(Access(buffer, offset, nbytes, write=False, reps=reps,
+                                        dense=dense, on_chip=on_chip, assume_l2=assume_l2))
+
+    def write(self, buffer: Buffer, offset: int, nbytes: int, reps: tuple[tuple[int, int], ...] = (),
+              dense: bool = False, on_chip: bool = False) -> None:
+        if nbytes > 0:
+            self.accesses.append(Access(buffer, offset, nbytes, write=True, reps=reps,
+                                        dense=dense, on_chip=on_chip))
+
+    @property
+    def bytes_read(self) -> int:
+        return sum(a.total_bytes for a in self.accesses if not a.write)
+
+    @property
+    def bytes_written(self) -> int:
+        return sum(a.total_bytes for a in self.accesses if a.write)

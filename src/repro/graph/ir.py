@@ -1,0 +1,193 @@
+"""DNN graph intermediate representation: :class:`Node` and :class:`Graph`.
+
+A :class:`Graph` is a directed acyclic data-flow graph.  Each :class:`Node`
+applies one :class:`~repro.graph.ops.OpSpec` to the outputs of its input
+nodes and produces exactly one activation tensor.  Shapes are inferred at
+construction time, so a fully built graph always shape-checks.
+
+Graphs are the common currency of the whole library: the BrickDL engine,
+the cuDNN-style baseline, the fusion passes and the model zoo all produce or
+consume them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import GraphError, ShapeError
+from repro.graph.ops import InputOp, OpSpec
+from repro.graph.tensorspec import TensorSpec
+
+__all__ = ["Node", "Graph"]
+
+
+@dataclass
+class Node:
+    """One operator application in a :class:`Graph`.
+
+    Attributes
+    ----------
+    node_id:
+        Dense integer id, stable within its graph (also the topological
+        insertion order).
+    name:
+        Human-readable unique name (e.g. ``"conv2_3/conv"``).
+    op:
+        The operator specification.
+    inputs:
+        Ids of producer nodes, in operator-argument order.
+    spec:
+        Inferred output tensor spec.
+    weights:
+        Materialized weight arrays (empty until ``Graph.init_weights``).
+    """
+
+    node_id: int
+    name: str
+    op: OpSpec
+    inputs: tuple[int, ...]
+    spec: TensorSpec
+    weights: dict[str, np.ndarray] = field(default_factory=dict, repr=False)
+
+    @property
+    def is_input(self) -> bool:
+        return isinstance(self.op, InputOp)
+
+    def __hash__(self) -> int:
+        return hash((id(self), self.node_id))
+
+
+class Graph:
+    """A shape-checked DNN data-flow DAG.
+
+    Nodes are appended via :meth:`add`; because inputs must already exist,
+    node ids are always a valid topological order.  The graph tracks consumer
+    lists so reverse traversals (BrickDL's static analysis) are O(V+E).
+    """
+
+    def __init__(self, name: str = "graph") -> None:
+        self.name = name
+        self._nodes: list[Node] = []
+        self._by_name: dict[str, Node] = {}
+        self._consumers: list[list[int]] = []
+        self._outputs: list[int] = []
+
+    # -- construction -------------------------------------------------------
+    def add(self, op: OpSpec, inputs: Sequence[Node | int] = (), name: str | None = None) -> Node:
+        """Append a node applying ``op`` to ``inputs`` and infer its shape."""
+        input_ids = tuple(n.node_id if isinstance(n, Node) else int(n) for n in inputs)
+        for i in input_ids:
+            if not 0 <= i < len(self._nodes):
+                raise GraphError(f"input id {i} does not exist in graph {self.name!r}")
+        input_specs = [self._nodes[i].spec for i in input_ids]
+        try:
+            spec = op.infer(input_specs)
+        except ShapeError as exc:
+            raise ShapeError(f"while adding {name or op.kind!r}: {exc}") from exc
+        node_id = len(self._nodes)
+        if name is None:
+            name = f"{op.kind}_{node_id}"
+        if name in self._by_name:
+            raise GraphError(f"duplicate node name {name!r}")
+        node = Node(node_id=node_id, name=name, op=op, inputs=input_ids, spec=spec)
+        self._nodes.append(node)
+        self._by_name[name] = node
+        self._consumers.append([])
+        for i in input_ids:
+            self._consumers[i].append(node_id)
+        return node
+
+    def input(self, spec: TensorSpec, name: str = "input") -> Node:
+        """Add a graph input placeholder."""
+        return self.add(InputOp(spec), (), name=name)
+
+    def mark_output(self, node: Node | int) -> None:
+        node_id = node.node_id if isinstance(node, Node) else int(node)
+        if node_id not in self._outputs:
+            self._outputs.append(node_id)
+
+    # -- access ---------------------------------------------------------------
+    @property
+    def nodes(self) -> tuple[Node, ...]:
+        return tuple(self._nodes)
+
+    def node(self, ref: int | str) -> Node:
+        if isinstance(ref, str):
+            try:
+                return self._by_name[ref]
+            except KeyError:
+                raise GraphError(f"no node named {ref!r}") from None
+        return self._nodes[ref]
+
+    def consumers(self, node: Node | int) -> tuple[int, ...]:
+        node_id = node.node_id if isinstance(node, Node) else int(node)
+        return tuple(self._consumers[node_id])
+
+    @property
+    def input_nodes(self) -> tuple[Node, ...]:
+        return tuple(n for n in self._nodes if n.is_input)
+
+    @property
+    def output_nodes(self) -> tuple[Node, ...]:
+        if self._outputs:
+            return tuple(self._nodes[i] for i in self._outputs)
+        # Default: all sinks.
+        return tuple(n for n in self._nodes if not self._consumers[n.node_id])
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._nodes)
+
+    # -- weights ---------------------------------------------------------------
+    def init_weights(self, seed: int = 0) -> None:
+        """Materialize deterministic weights for every node (idempotent)."""
+        rng = np.random.default_rng(seed)
+        for node in self._nodes:
+            if not node.weights:
+                input_specs = [self._nodes[i].spec for i in node.inputs]
+                node.weights = node.op.init_weights(input_specs, rng)
+
+    def weight_bytes(self) -> int:
+        """Total parameter footprint in bytes (weights must be initialized)."""
+        return sum(w.nbytes for n in self._nodes for w in n.weights.values())
+
+    # -- analysis helpers --------------------------------------------------------
+    def validate(self) -> None:
+        """Structural sanity checks (arity, reachability of outputs)."""
+        for node in self._nodes:
+            if len(node.inputs) != node.op.arity:
+                raise GraphError(
+                    f"node {node.name!r}: op {node.op.kind} expects {node.op.arity} "
+                    f"inputs, has {len(node.inputs)}"
+                )
+        if not self.input_nodes:
+            raise GraphError(f"graph {self.name!r} has no input nodes")
+        if not self.output_nodes:
+            raise GraphError(f"graph {self.name!r} has no output nodes")
+
+    def activation_bytes(self) -> int:
+        """Sum of all activation sizes (one pass, no reuse)."""
+        return sum(n.spec.nbytes for n in self._nodes)
+
+    def total_flops(self) -> int:
+        total = 0
+        for node in self._nodes:
+            input_specs = [self._nodes[i].spec for i in node.inputs]
+            total += node.op.flops(input_specs, node.spec.num_elements)
+        return total
+
+    def summary(self) -> str:
+        """A readable multi-line description of the graph."""
+        lines = [f"Graph {self.name!r}: {len(self)} nodes"]
+        for node in self._nodes:
+            ins = ",".join(str(i) for i in node.inputs)
+            lines.append(f"  [{node.node_id:3d}] {node.name:<28s} {node.op.kind:<14s} <- ({ins}) -> {node.spec}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"Graph({self.name!r}, nodes={len(self)})"

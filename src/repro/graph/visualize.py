@@ -1,0 +1,62 @@
+"""Graph visualization: Graphviz DOT export and plan-aware ASCII rendering.
+
+``to_dot`` colors nodes by the execution plan's subgraph assignment when one
+is supplied, making the partitioner's decisions visible at a glance;
+``ascii_plan`` prints an indented text view for terminals.
+"""
+
+from __future__ import annotations
+
+from repro.graph.ir import Graph
+
+__all__ = ["to_dot", "ascii_plan"]
+
+_PALETTE = ("#a6cee3", "#b2df8a", "#fb9a99", "#fdbf6f", "#cab2d6",
+            "#ffff99", "#1f78b4", "#33a02c", "#e31a1c", "#ff7f00")
+
+
+def _plan_colors(plan) -> dict[int, str]:
+    colors: dict[int, str] = {}
+    if plan is None:
+        return colors
+    for sub in plan.subgraphs:
+        color = "#dddddd" if not sub.is_merged else _PALETTE[sub.index % len(_PALETTE)]
+        for nid in sub.subgraph.node_ids:
+            colors[nid] = color
+    return colors
+
+
+def to_dot(graph: Graph, plan=None) -> str:
+    """Graphviz DOT source; merged subgraphs share a fill color."""
+    colors = _plan_colors(plan)
+    lines = [f'digraph "{graph.name}" {{', "  rankdir=TB;",
+             '  node [shape=box, style=filled, fontname="monospace", fontsize=10];']
+    for node in graph.nodes:
+        fill = colors.get(node.node_id, "#ffffff")
+        shape = "ellipse" if node.is_input else "box"
+        spatial = "x".join(map(str, node.spec.spatial)) if node.spec.spatial else "-"
+        label = f"{node.name}\\n{node.op.kind} {node.spec.channels}ch {spatial}"
+        lines.append(f'  n{node.node_id} [label="{label}", fillcolor="{fill}", shape={shape}];')
+    for node in graph.nodes:
+        for i in node.inputs:
+            lines.append(f"  n{i} -> n{node.node_id};")
+    for out in graph.output_nodes:
+        lines.append(f"  n{out.node_id} [penwidth=2];")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def ascii_plan(graph: Graph, plan) -> str:
+    """A terminal rendering of the plan: subgraph blocks with their nodes."""
+    lines = [f"{graph.name}: {len(plan.subgraphs)} subgraphs "
+             f"({plan.merged_count} merged)"]
+    for sub in plan.subgraphs:
+        tag = sub.strategy.value
+        brick = "x".join(map(str, sub.brick_shape)) if sub.brick_shape else "-"
+        lines.append(f"+- subgraph {sub.index} [{tag}, brick {brick}]")
+        for nid in sub.subgraph.node_ids:
+            node = graph.node(nid)
+            spatial = "x".join(map(str, node.spec.spatial)) if node.spec.spatial else "-"
+            lines.append(f"|    {node.name:<30s} {node.op.kind:<14s} {node.spec.channels:>4d}ch {spatial}")
+    lines.append("+-")
+    return "\n".join(lines)

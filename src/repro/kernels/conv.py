@@ -1,0 +1,67 @@
+"""N-dimensional convolution kernels (2-D and 3-D, strided/dilated/grouped).
+
+The forward pass builds a strided window view and contracts it with the
+weight tensor via a single ``einsum`` -- one fused multiply-accumulate sweep,
+no Python loops, matching the im2col+GEMM structure of cuDNN's implicit-GEMM
+algorithms.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.kernels.windows import KERNEL_LETTERS, SPATIAL_LETTERS, pad_spatial, spatial_windows
+
+__all__ = ["conv_forward"]
+
+
+def conv_forward(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray | None = None,
+    stride: Sequence[int] | int = 1,
+    padding: Sequence[int] | int = 0,
+    dilation: Sequence[int] | int = 1,
+    groups: int = 1,
+) -> np.ndarray:
+    """Convolve ``x (N, C, *S)`` with ``weight (O, C/groups, *K)``.
+
+    Symmetric zero padding; returns a C-contiguous ``(N, O, *S_out)`` array
+    in ``x``'s dtype.
+    """
+    nd = weight.ndim - 2
+    kernel = weight.shape[2:]
+    stride = (stride,) * nd if isinstance(stride, int) else tuple(stride)
+    padding = (padding,) * nd if isinstance(padding, int) else tuple(padding)
+    dilation = (dilation,) * nd if isinstance(dilation, int) else tuple(dilation)
+    if x.ndim != 2 + nd:
+        raise ShapeError(f"conv{nd}d expects (N, C, *S) input, got shape {x.shape}")
+
+    n, c = x.shape[:2]
+    o, c_per_group = weight.shape[:2]
+    if c != c_per_group * groups:
+        raise ShapeError(f"conv channels mismatch: input C={c}, weight expects {c_per_group * groups}")
+    if o % groups:
+        raise ShapeError(f"out channels {o} not divisible by groups {groups}")
+
+    xp = pad_spatial(x, padding)
+    v = spatial_windows(xp, kernel, stride, dilation)  # (N, C, *out, *K)
+
+    sp = SPATIAL_LETTERS[:nd]
+    kl = KERNEL_LETTERS[:nd]
+    if groups == 1:
+        out = np.einsum(f"nc{sp}{kl},oc{kl}->no{sp}", v, weight, optimize=True)
+    else:
+        out_spatial = v.shape[2 : 2 + nd]
+        vg = v.reshape(n, groups, c_per_group, *out_spatial, *kernel)
+        wg = weight.reshape(groups, o // groups, c_per_group, *kernel)
+        og = np.einsum(f"ngc{sp}{kl},goc{kl}->ngo{sp}", vg, wg, optimize=True)
+        out = og.reshape(n, o, *out_spatial)
+
+    out = np.ascontiguousarray(out, dtype=x.dtype)
+    if bias is not None:
+        out += bias.reshape((1, -1) + (1,) * nd).astype(x.dtype)
+    return out

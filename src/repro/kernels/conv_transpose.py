@@ -1,0 +1,94 @@
+"""Transposed ("de-") convolution kernels.
+
+Implemented as the textbook equivalence: zero-stuff the input by the stride,
+then run a regular convolution with the spatially flipped kernel and *full*
+padding, finally cropping the user padding.  This routes all the heavy
+lifting through :func:`repro.kernels.conv.conv_forward`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.kernels.conv import conv_forward
+
+__all__ = ["conv_transpose_forward", "conv_transpose_full"]
+
+
+def _stuff(x: np.ndarray, stride: tuple[int, ...]) -> np.ndarray:
+    """Insert ``s - 1`` zeros between input samples along each spatial dim."""
+    if all(s == 1 for s in stride):
+        return x
+    n, c = x.shape[:2]
+    spatial = x.shape[2:]
+    stuffed_shape = tuple((e - 1) * s + 1 for e, s in zip(spatial, stride))
+    out = np.zeros((n, c) + stuffed_shape, dtype=x.dtype)
+    idx = (slice(None), slice(None)) + tuple(slice(None, None, s) for s in stride)
+    out[idx] = x
+    return out
+
+
+def _flipped_weight(weight: np.ndarray) -> np.ndarray:
+    """``(C_in, C_out, *K)`` -> ``(C_out, C_in, *K_flipped)``."""
+    nd = weight.ndim - 2
+    w = np.swapaxes(weight, 0, 1)
+    flip = (slice(None), slice(None)) + (slice(None, None, -1),) * nd
+    return np.ascontiguousarray(w[flip])
+
+
+def conv_transpose_full(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray | None = None,
+    stride: Sequence[int] | int = 1,
+) -> np.ndarray:
+    """Padding-free transposed conv: output extent ``(S-1)*stride + K``.
+
+    This is the primitive the brick executors use -- they handle padding and
+    cropping themselves via the region algebra.
+    """
+    nd = weight.ndim - 2
+    stride = (stride,) * nd if isinstance(stride, int) else tuple(stride)
+    if x.ndim != 2 + nd:
+        raise ShapeError(f"conv_transpose expects (N, C, *S), got {x.shape}")
+    if x.shape[1] != weight.shape[0]:
+        raise ShapeError(f"conv_transpose channels mismatch: {x.shape[1]} vs {weight.shape[0]}")
+    kernel = weight.shape[2:]
+    stuffed = _stuff(x, stride)
+    full_pad = tuple(k - 1 for k in kernel)
+    return conv_forward(stuffed, _flipped_weight(weight), bias, stride=1, padding=full_pad)
+
+
+def conv_transpose_forward(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray | None = None,
+    stride: Sequence[int] | int = 1,
+    padding: Sequence[int] | int = 0,
+    output_padding: Sequence[int] | int = 0,
+) -> np.ndarray:
+    """User-facing transposed conv:
+    ``out = (S-1)*stride + K - 2*padding + output_padding``.
+
+    ``output_padding`` extends the output tail with positions that may have
+    no producers (zeros) -- the standard device for inverting strided convs
+    whose forward extent was floor-divided.
+    """
+    nd = weight.ndim - 2
+    padding = (padding,) * nd if isinstance(padding, int) else tuple(padding)
+    output_padding = ((output_padding,) * nd if isinstance(output_padding, int)
+                      else tuple(output_padding))
+    full = conv_transpose_full(x, weight, bias, stride)
+    if not any(padding) and not any(output_padding):
+        return full
+    outs = [e - 2 * p + op for e, p, op in zip(full.shape[2:], padding, output_padding)]
+    pad_tail = [max(0, p + out - e) for p, out, e in zip(padding, outs, full.shape[2:])]
+    if any(pad_tail):
+        full = np.pad(full, [(0, 0), (0, 0)] + [(0, t) for t in pad_tail])
+    crop = (slice(None), slice(None)) + tuple(
+        slice(p, p + out) for p, out in zip(padding, outs)
+    )
+    return np.ascontiguousarray(full[crop])

@@ -1,0 +1,163 @@
+"""Operator -> kernel dispatch, in full-tensor and brick-local flavors.
+
+Two entry points:
+
+* :func:`apply_node_full` -- execute an op on complete activations.  Used by
+  the naive reference executor, the tiled cuDNN-style baseline (per tile, via
+  the local path) and for the global ops (dense heads, global pooling) that
+  BrickDL hands off to the vendor library (section 3.3.3).
+
+* :func:`apply_node_local` -- execute an op on a *patch*: the caller has
+  gathered exactly the input region reported by the op's receptive-field
+  maps (zero/neutral-filled beyond the feature map) and wants the outputs for
+  its target region.  This is the primitive both merged-execution strategies
+  call per brick, mirroring BrickDL's fine-grained cuDNN invocations.
+
+The local path never applies feature-map padding itself: implicit zeros are
+already materialized in the patch.  Transposed convolutions over-produce and
+are sliced using the ``local_out_offset`` of their receptive-field map.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import UnsupportedOpError
+from repro.graph.ops import (
+    Activation,
+    Add,
+    Mul,
+    BatchNorm,
+    Bias,
+    Concat,
+    Conv,
+    ConvTranspose,
+    Dense,
+    Flatten,
+    GlobalAvgPool,
+    InputOp,
+    OpSpec,
+    Pool,
+    Softmax,
+)
+from repro.kernels.conv import conv_forward
+from repro.kernels.conv_transpose import conv_transpose_forward, conv_transpose_full
+from repro.kernels.dense import dense_forward, flatten_forward
+from repro.kernels.pointwise import (
+    activation,
+    add_bias,
+    batchnorm_inference,
+    channel_softmax,
+    elementwise_add,
+    elementwise_mul,
+)
+from repro.kernels.pooling import global_avg_pool, pool_forward
+
+__all__ = ["apply_node_full", "apply_node_local", "pad_value_for"]
+
+
+def pad_value_for(op: OpSpec) -> float:
+    """Neutral fill value for out-of-feature-map patch elements."""
+    if isinstance(op, Pool) and op.mode == "max":
+        return -np.inf
+    return 0.0
+
+
+def apply_node_full(op: OpSpec, inputs: Sequence[np.ndarray], weights: dict[str, np.ndarray]) -> np.ndarray:
+    """Execute ``op`` on full activations (feature-map padding applied)."""
+    if isinstance(op, InputOp):
+        return inputs[0] if inputs else op.spec.zeros()
+    if isinstance(op, Conv):
+        return conv_forward(
+            inputs[0], weights["weight"], weights.get("bias"),
+            stride=op.stride, padding=op.padding, dilation=op.dilation, groups=op.groups,
+        )
+    if isinstance(op, ConvTranspose):
+        return conv_transpose_forward(
+            inputs[0], weights["weight"], weights.get("bias"), stride=op.stride,
+            padding=op.padding, output_padding=op.output_padding,
+        )
+    if isinstance(op, Pool):
+        return pool_forward(inputs[0], op.kernel, op.stride, op.padding, op.mode)
+    if isinstance(op, GlobalAvgPool):
+        return global_avg_pool(inputs[0])
+    if isinstance(op, Activation):
+        return activation(inputs[0], op.fn, op.negative_slope)
+    if isinstance(op, BatchNorm):
+        return batchnorm_inference(inputs[0], weights["scale"], weights["shift"])
+    if isinstance(op, Bias):
+        return add_bias(inputs[0], weights["bias"])
+    if isinstance(op, Add):
+        return elementwise_add(inputs[0], inputs[1])
+    if isinstance(op, Mul):
+        return elementwise_mul(inputs[0], inputs[1])
+    if isinstance(op, Concat):
+        return np.ascontiguousarray(np.concatenate(list(inputs), axis=1))
+    if isinstance(op, Flatten):
+        return flatten_forward(inputs[0])
+    if isinstance(op, Dense):
+        return dense_forward(inputs[0], weights["weight"], weights.get("bias"))
+    if isinstance(op, Softmax):
+        return channel_softmax(inputs[0])
+    raise UnsupportedOpError(f"no full kernel for op {op!r}")
+
+
+def apply_node_local(
+    op: OpSpec,
+    patches: Sequence[np.ndarray],
+    weights: dict[str, np.ndarray],
+    out_spatial: tuple[int, ...],
+    offsets: tuple[int, ...],
+) -> np.ndarray:
+    """Execute ``op`` on gathered patches for one output region.
+
+    Parameters
+    ----------
+    patches:
+        One ``(C, *patch_spatial)`` array per op input (a single batch
+        sample -- bricks belong to one sample), covering exactly the region
+        the op's :meth:`rf_maps` report for the target output region
+        (neutral-filled outside the feature map).
+    out_spatial:
+        Spatial shape of the requested output region.
+    offsets:
+        Per-dim offsets (from ``RFMap.local_out_offset``) at which the
+        requested region starts inside the kernel's local output.  Zero for
+        all stencil ops; positive for transposed convolutions.
+    """
+    patches = [p[None] for p in patches]  # kernels expect a batch axis
+    if isinstance(op, Conv):
+        local = conv_forward(
+            patches[0], weights["weight"], weights.get("bias"),
+            stride=op.stride, padding=0, dilation=op.dilation, groups=op.groups,
+        )
+    elif isinstance(op, ConvTranspose):
+        local = conv_transpose_full(patches[0], weights["weight"], weights.get("bias"), stride=op.stride)
+    elif isinstance(op, Pool):
+        local = pool_forward(patches[0], op.kernel, op.stride, padding=0, mode=op.mode)
+    elif isinstance(op, Activation):
+        local = activation(patches[0], op.fn, op.negative_slope)
+    elif isinstance(op, BatchNorm):
+        local = batchnorm_inference(patches[0], weights["scale"], weights["shift"])
+    elif isinstance(op, Bias):
+        local = add_bias(patches[0], weights["bias"])
+    elif isinstance(op, Add):
+        local = elementwise_add(patches[0], patches[1])
+    elif isinstance(op, Mul):
+        local = elementwise_mul(patches[0], patches[1])
+    elif isinstance(op, Concat):
+        local = np.ascontiguousarray(np.concatenate(list(patches), axis=1))
+    elif isinstance(op, Softmax):
+        local = channel_softmax(patches[0])
+    else:
+        raise UnsupportedOpError(f"op {op.kind!r} is not brick-local (global ops run un-bricked)")
+
+    local = local[0]  # drop the batch axis again
+    if local.shape[1:] == tuple(out_spatial) and not any(offsets):
+        return local
+    crop = (slice(None),) + tuple(
+        slice(o, o + e) for o, e in zip(offsets, out_spatial)
+    )
+    return np.ascontiguousarray(local[crop])

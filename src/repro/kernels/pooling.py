@@ -1,0 +1,54 @@
+"""Max / average pooling kernels (any spatial rank).
+
+Max pooling pads with ``-inf`` (padding never wins a max); average pooling
+uses count-include-pad semantics (zeros contribute to the mean), which keeps
+full-tensor and brick-local execution bit-identical.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.kernels.windows import pad_spatial, spatial_windows
+
+__all__ = ["pool_forward", "global_avg_pool"]
+
+
+def pool_forward(
+    x: np.ndarray,
+    kernel: Sequence[int],
+    stride: Sequence[int] | None = None,
+    padding: Sequence[int] | int = 0,
+    mode: str = "max",
+) -> np.ndarray:
+    """Pool ``x (N, C, *S)`` over spatial windows."""
+    kernel = tuple(kernel)
+    nd = len(kernel)
+    if stride is None:
+        stride = kernel
+    elif isinstance(stride, int):
+        stride = (stride,) * nd
+    else:
+        stride = tuple(stride)
+    padding = (padding,) * nd if isinstance(padding, int) else tuple(padding)
+
+    fill = -np.inf if mode == "max" else 0.0
+    xp = pad_spatial(x, padding, value=fill)
+    v = spatial_windows(xp, kernel, stride, dilation=(1,) * nd)
+    window_axes = tuple(range(2 + nd, 2 + 2 * nd))
+    if mode == "max":
+        out = v.max(axis=window_axes)
+    else:
+        out = v.sum(axis=window_axes) / math.prod(kernel)
+    return np.ascontiguousarray(out, dtype=x.dtype)
+
+
+def global_avg_pool(x: np.ndarray) -> np.ndarray:
+    """Collapse all spatial dims to size 1 by averaging."""
+    nd = x.ndim - 2
+    axes = tuple(range(2, 2 + nd))
+    out = x.mean(axis=axes, keepdims=True)
+    return np.ascontiguousarray(out, dtype=x.dtype)

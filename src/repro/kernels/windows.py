@@ -1,0 +1,52 @@
+"""Sliding-window helpers shared by the convolution and pooling kernels.
+
+These build strided *views* (no copies, per the optimization guides) over the
+spatial dimensions of an ``(N, C, *spatial)`` activation, with stride and
+dilation applied by slicing.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from repro.errors import ShapeError
+
+__all__ = ["spatial_windows", "pad_spatial", "SPATIAL_LETTERS", "KERNEL_LETTERS"]
+
+SPATIAL_LETTERS = "xyz"
+KERNEL_LETTERS = "uvw"
+
+
+def pad_spatial(x: np.ndarray, padding: Sequence[int], value: float = 0.0) -> np.ndarray:
+    """Symmetrically pad the spatial dims of an ``(N, C, *spatial)`` array."""
+    if not any(padding):
+        return x
+    widths = [(0, 0), (0, 0)] + [(int(p), int(p)) for p in padding]
+    return np.pad(x, widths, mode="constant", constant_values=value)
+
+
+def spatial_windows(
+    x: np.ndarray,
+    kernel: Sequence[int],
+    stride: Sequence[int],
+    dilation: Sequence[int],
+) -> np.ndarray:
+    """A view of shape ``(N, C, *out_spatial, *kernel)``.
+
+    ``x`` must already include any padding.  Stride is applied by slicing the
+    output-position axes; dilation by slicing the window axes.
+    """
+    nd = len(kernel)
+    if x.ndim != 2 + nd:
+        raise ShapeError(f"expected (N, C, *spatial) with {nd} spatial dims, got shape {x.shape}")
+    k_eff = tuple((k - 1) * d + 1 for k, d in zip(kernel, dilation))
+    for e, ke in zip(x.shape[2:], k_eff):
+        if e < ke:
+            raise ShapeError(f"window {k_eff} does not fit spatial extent {x.shape[2:]}")
+    v = sliding_window_view(x, k_eff, axis=tuple(range(2, 2 + nd)))
+    out_slices = tuple(slice(None, None, int(s)) for s in stride)
+    win_slices = tuple(slice(None, None, int(d)) for d in dilation)
+    return v[(slice(None), slice(None)) + out_slices + win_slices]

@@ -1,0 +1,37 @@
+"""The seven CNN models of the paper's evaluation (section 4.2).
+
+(i) VGG-16, (ii) ResNet-50 (identity + projection skips), (iii) DarkNet-53
+(YOLOv3 backbone), (iv) 3D ResNet-34, (v) DRN-26 (dilated residual network,
+DRN-C), (vi) DeepCAM (encoder-decoder with deconvolutions and ASPP), and
+(vii) InceptionNet-v4.
+
+Every builder accepts the full paper-scale configuration by default and a
+reduced configuration (smaller spatial extents / channel widths) for
+functional tests, since the NumPy kernels compute real values.
+
+Use :func:`repro.models.zoo.build` / :data:`repro.models.zoo.MODELS` for
+name-based access.
+"""
+
+from repro.models.vgg import build_vgg16
+from repro.models.resnet import build_resnet50
+from repro.models.darknet import build_darknet53
+from repro.models.resnet3d import build_resnet3d34
+from repro.models.drn import build_drn26
+from repro.models.deepcam import build_deepcam
+from repro.models.inception import build_inception_v4
+from repro.models.mobilenet import build_mobilenet_v1
+from repro.models.zoo import MODELS, build
+
+__all__ = [
+    "build_vgg16",
+    "build_resnet50",
+    "build_darknet53",
+    "build_resnet3d34",
+    "build_drn26",
+    "build_deepcam",
+    "build_inception_v4",
+    "build_mobilenet_v1",
+    "MODELS",
+    "build",
+]

@@ -1,0 +1,22 @@
+"""Shared helpers for the model zoo."""
+
+from __future__ import annotations
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.tensorspec import TensorSpec
+
+__all__ = ["image_builder", "scaled"]
+
+
+def scaled(channels: int, width_scale: float) -> int:
+    """Scale a channel width, keeping at least 1 channel."""
+    return max(1, int(round(channels * width_scale)))
+
+
+def image_builder(
+    name: str,
+    spatial: tuple[int, ...],
+    in_channels: int = 3,
+    batch: int = 1,
+) -> GraphBuilder:
+    return GraphBuilder(name, TensorSpec(batch, in_channels, spatial))

@@ -1,0 +1,52 @@
+"""DarkNet-53, the YOLOv3 backbone (Redmon & Farhadi, 2018).
+
+Alternating 1x1/3x3 convolutions with residual connections and leaky-ReLU
+activations, downsampling with strided 3x3 convolutions (no pooling).  The
+deepest plain-conv chain among the evaluated models -- the paper's best case
+for merged execution (17.4 % over cuDNN, Fig. 7).
+"""
+
+from __future__ import annotations
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.ir import Graph, Node
+from repro.models.common import image_builder, scaled
+
+__all__ = ["build_darknet53"]
+
+# (channels, residual block count) per downsampling stage.
+_STAGES = ((64, 1), (128, 2), (256, 8), (512, 8), (1024, 4))
+
+
+def _conv_unit(b: GraphBuilder, channels: int, kernel: int, stride: int, name: str) -> Node:
+    pad = (kernel - 1) // 2
+    b.conv(channels, kernel, stride=stride, padding=pad, bias=False, name=f"{name}/conv")
+    b.batchnorm(name=f"{name}/bn")
+    return b.leaky_relu(slope=0.1, name=f"{name}/lrelu")
+
+
+def _residual(b: GraphBuilder, channels: int, name: str) -> Node:
+    identity = b.current
+    _conv_unit(b, channels // 2, 1, 1, f"{name}/reduce")
+    x = _conv_unit(b, channels, 3, 1, f"{name}/expand")
+    x = b.add(x, identity, name=f"{name}/add")
+    return x
+
+
+def build_darknet53(
+    image_size: int = 224,
+    num_classes: int = 1000,
+    width_scale: float = 1.0,
+    stage_blocks: tuple[int, ...] = (1, 2, 8, 8, 4),
+    batch: int = 1,
+) -> Graph:
+    b = image_builder("darknet53", (image_size, image_size), batch=batch)
+    _conv_unit(b, scaled(32, width_scale), 3, 1, "stem")
+    for si, ((channels, _), blocks) in enumerate(zip(_STAGES, stage_blocks), start=1):
+        c = scaled(channels, width_scale)
+        _conv_unit(b, c, 3, 2, f"stage{si}/down")
+        for bi in range(1, blocks + 1):
+            _residual(b, c, f"stage{si}/res{bi}")
+    b.classifier(num_classes)
+    b.graph.validate()
+    return b.graph

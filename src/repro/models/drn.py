@@ -1,0 +1,78 @@
+"""DRN-26 -- Dilated Residual Network, DRN-C variant (Yu et al., 2017).
+
+Keeps spatial resolution in the last two stages by replacing stride with
+dilation (rates 2 and 4), and appends the DRN-C "degridding" stages: plain
+(non-residual) dilated-then-undilated conv blocks that remove gridding
+artifacts.  Exercises merged execution over *dilated, strided* convolutions
+whose halos grow with the dilation rate.
+"""
+
+from __future__ import annotations
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.ir import Graph, Node
+from repro.models.common import image_builder, scaled
+
+__all__ = ["build_drn26"]
+
+
+def _basic_block(b: GraphBuilder, channels: int, stride: int, dilation: int,
+                 project: bool, prefix: str) -> Node:
+    identity = b.current
+    pad = dilation  # same-padding for a 3x3 kernel at this dilation
+    b.conv(channels, 3, stride=stride, padding=pad, dilation=dilation, bias=False, name=f"{prefix}/conv1")
+    b.batchnorm(name=f"{prefix}/bn1")
+    b.relu(name=f"{prefix}/relu1")
+    x = b.conv(channels, 3, padding=pad, dilation=dilation, bias=False, name=f"{prefix}/conv2")
+    x = b.batchnorm(name=f"{prefix}/bn2")
+    if project:
+        skip = b.conv(channels, 1, stride=stride, bias=False, src=identity, name=f"{prefix}/proj")
+        skip = b.batchnorm(src=skip, name=f"{prefix}/proj_bn")
+    else:
+        skip = identity
+    x = b.add(x, skip, name=f"{prefix}/add")
+    return b.relu(src=x, name=f"{prefix}/relu_out")
+
+
+def _plain_block(b: GraphBuilder, channels: int, dilation: int, prefix: str) -> Node:
+    pad = dilation
+    b.conv(channels, 3, padding=pad, dilation=dilation, bias=False, name=f"{prefix}/conv")
+    b.batchnorm(name=f"{prefix}/bn")
+    return b.relu(name=f"{prefix}/relu")
+
+
+def build_drn26(
+    image_size: int = 224,
+    num_classes: int = 1000,
+    width_scale: float = 1.0,
+    batch: int = 1,
+) -> Graph:
+    b = image_builder("drn26", (image_size, image_size), batch=batch)
+    c16, c32 = scaled(16, width_scale), scaled(32, width_scale)
+    c64, c128 = scaled(64, width_scale), scaled(128, width_scale)
+    c256, c512 = scaled(256, width_scale), scaled(512, width_scale)
+
+    # Stem: two conv units, stride 2 at the second (DRN replaces max pool).
+    b.conv(c16, 7, padding=3, bias=False, name="stem/conv")
+    b.batchnorm(name="stem/bn")
+    b.relu(name="stem/relu")
+    _basic_block(b, c16, 1, 1, project=True, prefix="level1")
+    _basic_block(b, c32, 2, 1, project=True, prefix="level2")
+
+    # Residual stages: stride in 3/4, dilation instead of stride in 5/6.
+    _basic_block(b, c64, 2, 1, project=True, prefix="level3/block1")
+    _basic_block(b, c64, 1, 1, project=False, prefix="level3/block2")
+    _basic_block(b, c128, 2, 1, project=True, prefix="level4/block1")
+    _basic_block(b, c128, 1, 1, project=False, prefix="level4/block2")
+    _basic_block(b, c256, 1, 2, project=True, prefix="level5/block1")
+    _basic_block(b, c256, 1, 2, project=False, prefix="level5/block2")
+    _basic_block(b, c512, 1, 4, project=True, prefix="level6/block1")
+    _basic_block(b, c512, 1, 4, project=False, prefix="level6/block2")
+
+    # DRN-C degridding: plain blocks with decreasing dilation.
+    _plain_block(b, c512, 2, "level7")
+    _plain_block(b, c512, 1, "level8")
+
+    b.classifier(num_classes)
+    b.graph.validate()
+    return b.graph

@@ -1,0 +1,117 @@
+"""InceptionNet-v4 (Szegedy et al., 2017).
+
+Multi-branch Inception-A/B/C modules with channel concatenation, separated
+by reduction modules.  Branches use factorized (1x7 / 7x1) convolutions in
+the B modules.  The branchy, concat-heavy structure stresses the
+partitioner's handling of DAG subgraphs (multiple entries/exits per merged
+region).
+
+The module counts follow the paper's architecture (4 x A, 7 x B, 3 x C) but
+are configurable so functional tests can run a slimmer network.
+"""
+
+from __future__ import annotations
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.ir import Graph, Node
+from repro.models.common import image_builder, scaled
+
+__all__ = ["build_inception_v4"]
+
+
+def _cbr(b: GraphBuilder, channels: int, kernel, stride=1, padding=0, src=None, name="cbr") -> Node:
+    b.conv(channels, kernel, stride=stride, padding=padding, bias=False, src=src, name=f"{name}/conv")
+    b.batchnorm(name=f"{name}/bn")
+    return b.relu(name=f"{name}/relu")
+
+
+def _stem(b: GraphBuilder, s: float) -> Node:
+    _cbr(b, scaled(32, s), 3, stride=2, padding=1, name="stem/conv1")
+    _cbr(b, scaled(32, s), 3, padding=1, name="stem/conv2")
+    x = _cbr(b, scaled(64, s), 3, padding=1, name="stem/conv3")
+    # Mixed downsample: max pool branch || strided conv branch.
+    pool = b.maxpool(3, stride=2, padding=1, src=x, name="stem/pool")
+    conv = _cbr(b, scaled(96, s), 3, stride=2, padding=1, src=x, name="stem/conv4")
+    return b.concat([pool, conv], name="stem/concat")
+
+
+def _inception_a(b: GraphBuilder, src: Node, s: float, name: str) -> Node:
+    b1 = _cbr(b, scaled(96, s), 1, src=src, name=f"{name}/b1")
+    b2 = _cbr(b, scaled(64, s), 1, src=src, name=f"{name}/b2a")
+    b2 = _cbr(b, scaled(96, s), 3, padding=1, src=b2, name=f"{name}/b2b")
+    b3 = _cbr(b, scaled(64, s), 1, src=src, name=f"{name}/b3a")
+    b3 = _cbr(b, scaled(96, s), 3, padding=1, src=b3, name=f"{name}/b3b")
+    b3 = _cbr(b, scaled(96, s), 3, padding=1, src=b3, name=f"{name}/b3c")
+    b4 = b.avgpool(3, stride=1, padding=1, src=src, name=f"{name}/b4pool")
+    b4 = _cbr(b, scaled(96, s), 1, src=b4, name=f"{name}/b4")
+    return b.concat([b1, b2, b3, b4], name=f"{name}/concat")
+
+
+def _reduction_a(b: GraphBuilder, src: Node, s: float, name: str) -> Node:
+    b1 = b.maxpool(3, stride=2, padding=1, src=src, name=f"{name}/pool")
+    b2 = _cbr(b, scaled(384, s), 3, stride=2, padding=1, src=src, name=f"{name}/b2")
+    b3 = _cbr(b, scaled(192, s), 1, src=src, name=f"{name}/b3a")
+    b3 = _cbr(b, scaled(224, s), 3, padding=1, src=b3, name=f"{name}/b3b")
+    b3 = _cbr(b, scaled(256, s), 3, stride=2, padding=1, src=b3, name=f"{name}/b3c")
+    return b.concat([b1, b2, b3], name=f"{name}/concat")
+
+
+def _inception_b(b: GraphBuilder, src: Node, s: float, name: str) -> Node:
+    b1 = _cbr(b, scaled(384, s), 1, src=src, name=f"{name}/b1")
+    b2 = _cbr(b, scaled(192, s), 1, src=src, name=f"{name}/b2a")
+    b2 = _cbr(b, scaled(224, s), (1, 7), padding=(0, 3), src=b2, name=f"{name}/b2b")
+    b2 = _cbr(b, scaled(256, s), (7, 1), padding=(3, 0), src=b2, name=f"{name}/b2c")
+    b3 = _cbr(b, scaled(192, s), 1, src=src, name=f"{name}/b3a")
+    b3 = _cbr(b, scaled(224, s), (7, 1), padding=(3, 0), src=b3, name=f"{name}/b3b")
+    b3 = _cbr(b, scaled(256, s), (1, 7), padding=(0, 3), src=b3, name=f"{name}/b3c")
+    b4 = b.avgpool(3, stride=1, padding=1, src=src, name=f"{name}/b4pool")
+    b4 = _cbr(b, scaled(128, s), 1, src=b4, name=f"{name}/b4")
+    return b.concat([b1, b2, b3, b4], name=f"{name}/concat")
+
+
+def _reduction_b(b: GraphBuilder, src: Node, s: float, name: str) -> Node:
+    b1 = b.maxpool(3, stride=2, padding=1, src=src, name=f"{name}/pool")
+    b2 = _cbr(b, scaled(192, s), 1, src=src, name=f"{name}/b2a")
+    b2 = _cbr(b, scaled(192, s), 3, stride=2, padding=1, src=b2, name=f"{name}/b2b")
+    b3 = _cbr(b, scaled(256, s), 1, src=src, name=f"{name}/b3a")
+    b3 = _cbr(b, scaled(320, s), (7, 1), padding=(3, 0), src=b3, name=f"{name}/b3b")
+    b3 = _cbr(b, scaled(320, s), 3, stride=2, padding=1, src=b3, name=f"{name}/b3c")
+    return b.concat([b1, b2, b3], name=f"{name}/concat")
+
+
+def _inception_c(b: GraphBuilder, src: Node, s: float, name: str) -> Node:
+    b1 = _cbr(b, scaled(256, s), 1, src=src, name=f"{name}/b1")
+    b2 = _cbr(b, scaled(384, s), 1, src=src, name=f"{name}/b2a")
+    b2a = _cbr(b, scaled(256, s), (1, 3), padding=(0, 1), src=b2, name=f"{name}/b2b")
+    b2b = _cbr(b, scaled(256, s), (3, 1), padding=(1, 0), src=b2, name=f"{name}/b2c")
+    b3 = _cbr(b, scaled(384, s), 1, src=src, name=f"{name}/b3a")
+    b3 = _cbr(b, scaled(448, s), (3, 1), padding=(1, 0), src=b3, name=f"{name}/b3b")
+    b3 = _cbr(b, scaled(512, s), (1, 3), padding=(0, 1), src=b3, name=f"{name}/b3c")
+    b3a = _cbr(b, scaled(256, s), (1, 3), padding=(0, 1), src=b3, name=f"{name}/b3d")
+    b3b = _cbr(b, scaled(256, s), (3, 1), padding=(1, 0), src=b3, name=f"{name}/b3e")
+    b4 = b.avgpool(3, stride=1, padding=1, src=src, name=f"{name}/b4pool")
+    b4 = _cbr(b, scaled(256, s), 1, src=b4, name=f"{name}/b4")
+    return b.concat([b1, b2a, b2b, b3a, b3b, b4], name=f"{name}/concat")
+
+
+def build_inception_v4(
+    image_size: int = 224,
+    num_classes: int = 1000,
+    width_scale: float = 1.0,
+    module_counts: tuple[int, int, int] = (4, 7, 3),
+    batch: int = 1,
+) -> Graph:
+    b = image_builder("inception_v4", (image_size, image_size), batch=batch)
+    x = _stem(b, width_scale)
+    na, nb, nc = module_counts
+    for i in range(1, na + 1):
+        x = _inception_a(b, x, width_scale, f"incA{i}")
+    x = _reduction_a(b, x, width_scale, "redA")
+    for i in range(1, nb + 1):
+        x = _inception_b(b, x, width_scale, f"incB{i}")
+    x = _reduction_b(b, x, width_scale, "redB")
+    for i in range(1, nc + 1):
+        x = _inception_c(b, x, width_scale, f"incC{i}")
+    b.classifier(num_classes, src=x)
+    b.graph.validate()
+    return b.graph

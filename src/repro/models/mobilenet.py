@@ -1,0 +1,49 @@
+"""MobileNetV1 (Howard et al., 2017) -- depthwise-separable convolutions.
+
+Not one of the paper's seven, but section 3.2 names "depthwise/spatially
+separable" convolutions among the operations compatible with merged
+execution; this model exercises that claim end-to-end: every block is a
+depthwise 3x3 (grouped conv, groups == channels) followed by a pointwise
+1x1, each with BN + ReLU.
+"""
+
+from __future__ import annotations
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.ir import Graph, Node
+from repro.models.common import image_builder, scaled
+
+__all__ = ["build_mobilenet_v1"]
+
+# (out_channels, stride) per depthwise-separable block.
+_BLOCKS = ((64, 1), (128, 2), (128, 1), (256, 2), (256, 1), (512, 2),
+           (512, 1), (512, 1), (512, 1), (512, 1), (512, 1), (1024, 2), (1024, 1))
+
+
+def _dw_separable(b: GraphBuilder, out_channels: int, stride: int, prefix: str) -> Node:
+    in_channels = b.current.spec.channels
+    b.conv(in_channels, 3, stride=stride, padding=1, groups=in_channels,
+           bias=False, name=f"{prefix}/dw")
+    b.batchnorm(name=f"{prefix}/dw_bn")
+    b.relu(name=f"{prefix}/dw_relu")
+    b.conv(out_channels, 1, bias=False, name=f"{prefix}/pw")
+    b.batchnorm(name=f"{prefix}/pw_bn")
+    return b.relu(name=f"{prefix}/pw_relu")
+
+
+def build_mobilenet_v1(
+    image_size: int = 224,
+    num_classes: int = 1000,
+    width_scale: float = 1.0,
+    blocks: tuple = _BLOCKS,
+    batch: int = 1,
+) -> Graph:
+    b = image_builder("mobilenet_v1", (image_size, image_size), batch=batch)
+    b.conv(scaled(32, width_scale), 3, stride=2, padding=1, bias=False, name="stem/conv")
+    b.batchnorm(name="stem/bn")
+    b.relu(name="stem/relu")
+    for i, (channels, stride) in enumerate(blocks, start=1):
+        _dw_separable(b, scaled(channels, width_scale), stride, f"block{i}")
+    b.classifier(num_classes)
+    b.graph.validate()
+    return b.graph

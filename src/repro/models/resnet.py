@@ -1,0 +1,90 @@
+"""ResNet-50 (He et al., 2016) with identity and projection skips.
+
+Stem (7x7/2 conv + 3x3/2 max pool) followed by four stages of bottleneck
+blocks [3, 4, 6, 3]; the first block of each stage uses a strided projection
+shortcut, the rest identity shortcuts.  The residual adds are the pointwise
+ops the conventional baselines fuse; the 1x1-3x3-1x1 conv chains are what
+BrickDL merges.
+"""
+
+from __future__ import annotations
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.ir import Graph, Node
+from repro.models.common import image_builder, scaled
+
+__all__ = ["build_resnet50", "build_resnet101", "bottleneck"]
+
+_EXPANSION = 4
+
+
+def bottleneck(
+    b: GraphBuilder,
+    inner: int,
+    stride: int,
+    project: bool,
+    prefix: str,
+) -> Node:
+    """One 1x1 -> 3x3 -> 1x1 bottleneck with skip connection."""
+    identity = b.current
+    x = b.conv(inner, 1, stride=1, bias=False, name=f"{prefix}/conv1")
+    x = b.batchnorm(name=f"{prefix}/bn1")
+    x = b.relu(name=f"{prefix}/relu1")
+    x = b.conv(inner, 3, stride=stride, padding=1, bias=False, name=f"{prefix}/conv2")
+    x = b.batchnorm(name=f"{prefix}/bn2")
+    x = b.relu(name=f"{prefix}/relu2")
+    x = b.conv(inner * _EXPANSION, 1, bias=False, name=f"{prefix}/conv3")
+    x = b.batchnorm(name=f"{prefix}/bn3")
+    if project:
+        skip = b.conv(inner * _EXPANSION, 1, stride=stride, bias=False,
+                      src=identity, name=f"{prefix}/proj")
+        skip = b.batchnorm(src=skip, name=f"{prefix}/proj_bn")
+    else:
+        skip = identity
+    x = b.add(x, skip, name=f"{prefix}/add")
+    return b.relu(src=x, name=f"{prefix}/relu_out")
+
+
+def build_resnet50(
+    image_size: int = 224,
+    num_classes: int = 1000,
+    width_scale: float = 1.0,
+    stage_blocks: tuple[int, int, int, int] = (3, 4, 6, 3),
+    batch: int = 1,
+) -> Graph:
+    b = image_builder("resnet50", (image_size, image_size), batch=batch)
+    stem = scaled(64, width_scale)
+    b.conv(stem, 7, stride=2, padding=3, bias=False, name="stem/conv")
+    b.batchnorm(name="stem/bn")
+    b.relu(name="stem/relu")
+    b.maxpool(3, stride=2, padding=1, name="stem/pool")
+
+    widths = (64, 128, 256, 512)
+    for si, (width, blocks) in enumerate(zip(widths, stage_blocks), start=1):
+        inner = scaled(width, width_scale)
+        for bi in range(1, blocks + 1):
+            stride = 2 if (si > 1 and bi == 1) else 1
+            project = bi == 1  # stage entry always re-projects channels
+            bottleneck(b, inner, stride, project, prefix=f"stage{si}/block{bi}")
+
+    b.classifier(num_classes)
+    b.graph.validate()
+    return b.graph
+
+
+def build_resnet101(
+    image_size: int = 224,
+    num_classes: int = 1000,
+    width_scale: float = 1.0,
+    batch: int = 1,
+) -> Graph:
+    """ResNet-101: the same bottleneck architecture with stages (3, 4, 23, 3).
+
+    The paper observes that "deeper models benefit even better from BrickDL,
+    with the ability to merge layers in more subgraphs" -- this variant lets
+    that claim be tested directly against ResNet-50.
+    """
+    g = build_resnet50(image_size=image_size, num_classes=num_classes,
+                       width_scale=width_scale, stage_blocks=(3, 4, 23, 3), batch=batch)
+    g.name = "resnet101"
+    return g

@@ -1,0 +1,60 @@
+"""3D ResNet-34 for spatio-temporal action recognition (Hara et al., 2017).
+
+Basic residual blocks of two 3x3x3 convolutions over 5-D activations
+``(N, C, D, H, W)``; the first stage keeps resolution, later stages
+downsample with stride 2 in all three spatial dims.  Exercises BrickDL's
+3-D bricks (the paper's microbenchmarks also use 3-D convolutions).
+"""
+
+from __future__ import annotations
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.ir import Graph, Node
+from repro.models.common import scaled
+from repro.graph.tensorspec import TensorSpec
+
+__all__ = ["build_resnet3d34"]
+
+
+def _basic_block(b: GraphBuilder, channels: int, stride: int, project: bool, prefix: str) -> Node:
+    identity = b.current
+    b.conv(channels, 3, stride=stride, padding=1, bias=False, name=f"{prefix}/conv1")
+    b.batchnorm(name=f"{prefix}/bn1")
+    b.relu(name=f"{prefix}/relu1")
+    x = b.conv(channels, 3, padding=1, bias=False, name=f"{prefix}/conv2")
+    x = b.batchnorm(name=f"{prefix}/bn2")
+    if project:
+        skip = b.conv(channels, 1, stride=stride, bias=False, src=identity, name=f"{prefix}/proj")
+        skip = b.batchnorm(src=skip, name=f"{prefix}/proj_bn")
+    else:
+        skip = identity
+    x = b.add(x, skip, name=f"{prefix}/add")
+    return b.relu(src=x, name=f"{prefix}/relu_out")
+
+
+def build_resnet3d34(
+    clip: tuple[int, int, int] = (16, 112, 112),
+    num_classes: int = 400,
+    width_scale: float = 1.0,
+    stage_blocks: tuple[int, int, int, int] = (3, 4, 6, 3),
+    batch: int = 1,
+) -> Graph:
+    """``clip`` is the input ``(frames, height, width)``."""
+    b = GraphBuilder("resnet3d34", TensorSpec(batch, 3, clip))
+    stem = scaled(64, width_scale)
+    b.conv(stem, (3, 7, 7), stride=(1, 2, 2), padding=(1, 3, 3), bias=False, name="stem/conv")
+    b.batchnorm(name="stem/bn")
+    b.relu(name="stem/relu")
+    b.maxpool((3, 3, 3), stride=(2, 2, 2), padding=1, name="stem/pool")
+
+    widths = (64, 128, 256, 512)
+    for si, (width, blocks) in enumerate(zip(widths, stage_blocks), start=1):
+        c = scaled(width, width_scale)
+        for bi in range(1, blocks + 1):
+            stride = 2 if (si > 1 and bi == 1) else 1
+            project = bi == 1 and si > 1
+            _basic_block(b, c, stride, project, f"stage{si}/block{bi}")
+
+    b.classifier(num_classes)
+    b.graph.validate()
+    return b.graph

@@ -1,0 +1,58 @@
+"""VGG-16 (Simonyan & Zisserman, 2014).
+
+Thirteen 3x3 convolutions in five stages separated by 2x2 max pools, then
+the three-layer fully connected classifier.  The long unbroken chains of
+same-shape convolutions make VGG the cleanest showcase of merged execution
+across back-to-back compute-intensive operators.
+"""
+
+from __future__ import annotations
+
+from repro.graph.ir import Graph
+from repro.models.common import image_builder, scaled
+
+__all__ = ["build_vgg16", "build_vgg19"]
+
+_STAGES = ((64, 2), (128, 2), (256, 3), (512, 3), (512, 3))
+_STAGES_19 = ((64, 2), (128, 2), (256, 4), (512, 4), (512, 4))
+
+
+def build_vgg16(
+    image_size: int = 224,
+    num_classes: int = 1000,
+    width_scale: float = 1.0,
+    fc_width: int = 4096,
+    batch: int = 1,
+    stages: tuple = _STAGES,
+    name: str = "vgg16",
+) -> Graph:
+    """Build VGG-16; ``width_scale`` shrinks channel widths for tests."""
+    b = image_builder(name, (image_size, image_size), batch=batch)
+    for si, (channels, reps) in enumerate(stages, start=1):
+        c = scaled(channels, width_scale)
+        for ri in range(1, reps + 1):
+            x = b.conv(c, 3, padding=1, name=f"conv{si}_{ri}")
+            x = b.relu(name=f"relu{si}_{ri}")
+        b.maxpool(2, name=f"pool{si}")
+
+    b.flatten(name="flatten")
+    b.dense(scaled(fc_width, width_scale), name="fc6")
+    b.relu(name="relu6")
+    b.dense(scaled(fc_width, width_scale), name="fc7")
+    b.relu(name="relu7")
+    b.dense(num_classes, name="fc8")
+    b.softmax(name="softmax")
+    return b.finish()
+
+
+def build_vgg19(
+    image_size: int = 224,
+    num_classes: int = 1000,
+    width_scale: float = 1.0,
+    fc_width: int = 4096,
+    batch: int = 1,
+) -> Graph:
+    """VGG-19: the 16-conv variant (longer unbroken conv chains to merge)."""
+    return build_vgg16(image_size=image_size, num_classes=num_classes,
+                       width_scale=width_scale, fc_width=fc_width, batch=batch,
+                       stages=_STAGES_19, name="vgg19")

@@ -1,0 +1,26 @@
+"""Structured-grid HPC computations on the BrickDL runtime (paper section 6).
+
+The paper closes by observing that merged execution with bricks "also
+applies to the sequences of computations on structured grids found in HPC
+codes, including layered computations such as multigrid".  This subpackage
+demonstrates that claim concretely: stencil time-stepping and a geometric
+multigrid V-cycle are expressed as DNN graphs whose convolutions carry
+*fixed* stencil coefficients, and then executed -- merged, bricked,
+numerically exactly -- by the same engine that runs ResNet-50.
+
+* :mod:`repro.stencil.heat` -- Jacobi heat-equation time stepping (2-D and
+  3-D), with a direct NumPy reference implementation;
+* :mod:`repro.stencil.multigrid` -- a two-level V-cycle (smooth, restrict,
+  coarse-smooth, prolongate, correct) for the 2-D Poisson problem.
+"""
+
+from repro.stencil.heat import build_heat_graph, reference_heat, stencil_weights
+from repro.stencil.multigrid import build_vcycle_graph, reference_vcycle
+
+__all__ = [
+    "build_heat_graph",
+    "reference_heat",
+    "stencil_weights",
+    "build_vcycle_graph",
+    "reference_vcycle",
+]

@@ -1,0 +1,9 @@
+"""Pytest fixtures for the test suite (helpers live in testlib.py)."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

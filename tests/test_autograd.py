@@ -1,0 +1,170 @@
+"""Gradient-graph tests: analytic VJPs checked against finite differences,
+and merged execution of backward graphs."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import build_input_gradient_graph, gradient_feeds
+from repro.core.engine import BrickDLEngine
+from repro.core.plan import Strategy
+from repro.core.reference import ReferenceExecutor
+from repro.errors import UnsupportedOpError
+from repro.graph.builder import GraphBuilder
+from repro.graph.tensorspec import TensorSpec
+
+
+def numerical_input_grad(graph, x, upstream, out_name, eps=1e-3):
+    """Central finite differences of <upstream, f(x)> w.r.t. x."""
+    ex = ReferenceExecutor(graph)
+    grad = np.zeros_like(x)
+    flat_x = grad.reshape(-1)
+    x_flat = x.reshape(-1)
+    for i in range(x_flat.size):
+        orig = x_flat[i]
+        x_flat[i] = orig + eps
+        hi = float((ex.run(x)[out_name] * upstream).sum())
+        x_flat[i] = orig - eps
+        lo = float((ex.run(x)[out_name] * upstream).sum())
+        x_flat[i] = orig
+        flat_x[i] = (hi - lo) / (2 * eps)
+    return grad
+
+
+def check_against_fd(make_graph, shape, atol=2e-2, kink_tolerant=False):
+    graph = make_graph()
+    graph.init_weights(seed=11)
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal(shape).astype(np.float32)
+    out_name = graph.output_nodes[0].name
+    forward = ReferenceExecutor(graph).run_all(x)
+    upstream = rng.standard_normal(forward[out_name].shape).astype(np.float32)
+
+    bwd = build_input_gradient_graph(graph)
+    feeds = gradient_feeds(graph, forward, upstream)
+    analytic = ReferenceExecutor(bwd).run(feeds)
+    analytic = list(analytic.values())[0]
+
+    numeric = numerical_input_grad(graph, x, upstream, out_name)
+    if kink_tolerant:
+        # Central differences straddle relu-family kinks when a
+        # pre-activation sits within eps of zero; the analytic subgradient
+        # is right there, the FD estimate is not.  Require the vast
+        # majority to agree instead of every element.
+        close = np.isclose(analytic, numeric, atol=atol, rtol=5e-2)
+        assert close.mean() > 0.9, f"only {close.mean():.0%} of gradients match"
+    else:
+        np.testing.assert_allclose(analytic, numeric, atol=atol, rtol=5e-2)
+    return graph, bwd, feeds, analytic
+
+
+class TestVjpsAgainstFiniteDifferences:
+    def test_conv(self):
+        def make():
+            b = GraphBuilder("g", TensorSpec(1, 2, (6, 6)))
+            b.conv(3, 3, padding=1, name="conv")
+            return b.finish()
+        check_against_fd(make, (1, 2, 6, 6))
+
+    def test_strided_conv(self):
+        def make():
+            b = GraphBuilder("g", TensorSpec(1, 2, (8, 8)))
+            b.conv(2, 3, stride=2, padding=1, name="conv")
+            return b.finish()
+        check_against_fd(make, (1, 2, 8, 8))
+
+    def test_conv_transpose(self):
+        def make():
+            b = GraphBuilder("g", TensorSpec(1, 2, (5, 5)))
+            b.deconv(2, 4, stride=2, padding=1, name="up")
+            return b.finish()
+        check_against_fd(make, (1, 2, 5, 5))
+
+    def test_conv_bn_relu_chain(self):
+        def make():
+            b = GraphBuilder("g", TensorSpec(1, 2, (6, 6)))
+            b.conv(3, 3, padding=1, bias=False, name="conv")
+            b.batchnorm(name="bn")
+            b.relu(name="relu")
+            return b.finish()
+        check_against_fd(make, (1, 2, 6, 6), kink_tolerant=True)
+
+    def test_residual_add(self):
+        def make():
+            b = GraphBuilder("g", TensorSpec(1, 2, (6, 6)))
+            root = b.conv(2, 3, padding=1, name="c1")
+            branch = b.conv(2, 3, padding=1, src=root, name="c2")
+            b.add(branch, root, name="add")
+            return b.finish()
+        check_against_fd(make, (1, 2, 6, 6))
+
+    def test_avg_pool(self):
+        def make():
+            b = GraphBuilder("g", TensorSpec(1, 2, (8, 8)))
+            b.avgpool(2, name="pool")
+            return b.finish()
+        check_against_fd(make, (1, 2, 8, 8))
+
+    def test_leaky_relu(self):
+        def make():
+            b = GraphBuilder("g", TensorSpec(1, 2, (6, 6)))
+            b.conv(2, 3, padding=1, name="conv")
+            b.leaky_relu(slope=0.2, name="lrelu")
+            return b.finish()
+        check_against_fd(make, (1, 2, 6, 6), kink_tolerant=True)
+
+
+class TestUnsupported:
+    def test_maxpool_rejected(self):
+        b = GraphBuilder("g", TensorSpec(1, 2, (8, 8)))
+        b.maxpool(2)
+        g = b.finish()
+        with pytest.raises(UnsupportedOpError):
+            build_input_gradient_graph(g)
+
+    def test_sigmoid_rejected(self):
+        b = GraphBuilder("g", TensorSpec(1, 2, (8, 8)))
+        b.sigmoid()
+        g = b.finish()
+        with pytest.raises(UnsupportedOpError):
+            build_input_gradient_graph(g)
+
+
+class TestMergedBackward:
+    """The backward graph is an ordinary mergeable graph: padded, memoized
+    and the partitioner handle it like any conv-transpose trunk."""
+
+    def _setup(self, size=24):
+        b = GraphBuilder("trunk", TensorSpec(1, 3, (size, size)))
+        b.conv(4, 3, padding=1, bias=False, name="c1")
+        b.batchnorm(name="bn1")
+        b.relu(name="r1")
+        b.conv(4, 3, padding=1, bias=False, name="c2")
+        b.relu(name="r2")
+        graph = b.finish()
+        graph.init_weights(seed=3)
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((1, 3, size, size)).astype(np.float32)
+        forward = ReferenceExecutor(graph).run_all(x)
+        upstream = rng.standard_normal(forward["r2"].shape).astype(np.float32)
+        bwd = build_input_gradient_graph(graph)
+        feeds = gradient_feeds(graph, forward, upstream)
+        expected = ReferenceExecutor(bwd).run(feeds)
+        return bwd, feeds, list(expected.values())[0]
+
+    @pytest.mark.parametrize("strategy", [Strategy.PADDED, Strategy.MEMOIZED])
+    def test_backward_graph_runs_merged(self, strategy):
+        bwd, feeds, expected = self._setup()
+        res = BrickDLEngine(bwd, strategy_override=strategy, brick_override=4,
+                            layer_schedule=(len(bwd),)).run(feeds)
+        got = list(res.outputs.values())[0]
+        np.testing.assert_allclose(got, expected, atol=1e-3, rtol=1e-3)
+
+    def test_backward_graph_partitions(self):
+        bwd, _, _ = self._setup(size=48)
+        plan = BrickDLEngine(bwd).compile()
+        assert plan.merged_count >= 1
+
+    def test_backward_is_transposed_conv_chain(self):
+        bwd, _, _ = self._setup()
+        kinds = [n.op.kind for n in bwd.nodes if not n.is_input]
+        assert "convtranspose" in kinds and "mul" in kinds

@@ -1,0 +1,137 @@
+"""Brick, BrickMap, BrickInfo and BrickedTensor tests (paper Fig. 6)."""
+
+import numpy as np
+import pytest
+
+from repro.core.brick import Brick, BrickInfo, BrickMap, neighbor_offsets
+from repro.core.bricked import BrickedTensor, BrickGrid
+from repro.errors import LayoutError
+from repro.graph.regions import Region
+
+
+class TestBrickMap:
+    def test_identity_roundtrip(self):
+        bm = BrickMap((3, 4))
+        for flat in range(12):
+            pos = bm.unflatten(flat)
+            assert bm.flatten(pos) == flat
+            assert bm.logical(bm.physical(pos)) == pos
+
+    def test_permuted_roundtrip(self):
+        rng = np.random.default_rng(0)
+        perm = rng.permutation(12)
+        bm = BrickMap((3, 4), perm)
+        for pos, phys in bm:
+            assert bm.logical(phys) == pos
+
+    def test_bad_permutation(self):
+        with pytest.raises(LayoutError):
+            BrickMap((2, 2), [0, 0, 1, 2])
+
+    def test_out_of_grid(self):
+        with pytest.raises(LayoutError):
+            BrickMap((2, 2)).physical((2, 0))
+
+
+class TestBrickInfo:
+    def test_fig6_neighbor_structure(self):
+        """A 4x4 grid: the brick at (1,1) has 8 neighbors (Fig. 6(c))."""
+        bm = BrickMap((4, 4))
+        info = BrickInfo(bm)
+        phys = bm.physical((1, 1))
+        neighbors = info.neighbors(phys)
+        assert len(neighbors) == 8
+        assert neighbors[(-1, -1)] == bm.physical((0, 0))
+        assert neighbors[(1, 1)] == bm.physical((2, 2))
+
+    def test_corner_has_three(self):
+        info = BrickInfo(BrickMap((4, 4)))
+        assert len(info.neighbors(0)) == 3
+
+    def test_unknown_direction(self):
+        info = BrickInfo(BrickMap((2, 2)))
+        with pytest.raises(LayoutError):
+            info.neighbor(0, (2, 0))
+
+    def test_offsets_3d(self):
+        assert len(neighbor_offsets(3)) == 26
+
+
+class TestBrickGrid:
+    def test_grid_shape_with_remainder(self):
+        g = BrickGrid((13, 17), (4, 4))
+        assert g.grid_shape == (4, 5)
+        assert g.num_bricks == 20
+
+    def test_brick_region_clipped(self):
+        g = BrickGrid((13, 17), (4, 4))
+        r = g.brick_region((3, 4), clipped=True)
+        assert r.shape == (1, 1)
+
+    def test_bricks_overlapping_clips_to_map(self):
+        g = BrickGrid((8, 8), (4, 4))
+        over = list(g.bricks_overlapping(Region.from_bounds([-3, 5], [2, 12])))
+        assert over == [(0, 1)]
+
+
+class TestBrickedTensor:
+    def test_roundtrip_2d(self, rng):
+        x = rng.standard_normal((2, 3, 13, 17)).astype(np.float32)
+        bt = BrickedTensor.from_dense(x, (4, 4))
+        np.testing.assert_array_equal(bt.to_dense(), x)
+
+    def test_roundtrip_3d(self, rng):
+        x = rng.standard_normal((1, 2, 9, 6, 7)).astype(np.float32)
+        bt = BrickedTensor.from_dense(x, (4, 4, 4))
+        np.testing.assert_array_equal(bt.to_dense(), x)
+
+    def test_roundtrip_permuted_map(self, rng):
+        x = rng.standard_normal((1, 2, 8, 8)).astype(np.float32)
+        base = BrickedTensor.from_dense(x, (4, 4))
+        perm = np.random.default_rng(7).permutation(base.grid.num_bricks)
+        bt = BrickedTensor.from_dense(x, (4, 4), BrickMap(base.grid.grid_shape, perm))
+        np.testing.assert_array_equal(bt.to_dense(), x)
+
+    def test_brick_contiguous_bytes(self, rng):
+        x = rng.standard_normal((1, 3, 8, 8)).astype(np.float32)
+        bt = BrickedTensor.from_dense(x, (4, 4))
+        assert bt.brick_nbytes == 3 * 16 * 4
+        assert bt.storage[0, 0].flags["C_CONTIGUOUS"]
+
+    def test_brick_access_interface(self, rng):
+        x = rng.standard_normal((1, 2, 8, 8)).astype(np.float32)
+        bt = BrickedTensor.from_dense(x, (4, 4))
+        brick = bt.brick(0, (1, 1))
+        np.testing.assert_array_equal(brick[(2, 3)], x[0, :, 6, 7])
+
+    def test_gather_with_halo_and_fill(self, rng):
+        x = rng.standard_normal((1, 2, 8, 8)).astype(np.float32)
+        bt = BrickedTensor.from_dense(x, (4, 4))
+        patch = bt.gather_region(0, Region.from_bounds([-1, 6], [3, 10]), fill=0.0)
+        assert patch.shape == (2, 4, 4)
+        assert (patch[:, 0, :] == 0).all()          # above the map
+        assert (patch[:, :, 2:] == 0).all()         # right of the map
+        np.testing.assert_array_equal(patch[:, 1:, :2], x[0, :, 0:3, 6:8])
+
+    def test_scatter_then_gather(self, rng):
+        bt = BrickedTensor.from_dense(np.zeros((1, 2, 8, 8), np.float32), (4, 4))
+        vals = rng.standard_normal((2, 3, 5)).astype(np.float32)
+        region = Region.from_bounds([2, 1], [5, 6])
+        bt.scatter_region(0, region, vals)
+        np.testing.assert_array_equal(bt.gather_region(0, region), vals)
+
+    def test_scatter_shape_check(self):
+        bt = BrickedTensor.from_dense(np.zeros((1, 2, 8, 8), np.float32), (4, 4))
+        with pytest.raises(LayoutError):
+            bt.scatter_region(0, Region.from_bounds([0, 0], [2, 2]), np.zeros((2, 3, 3), np.float32))
+
+    def test_rank_mismatch(self):
+        with pytest.raises(LayoutError):
+            BrickedTensor.from_dense(np.zeros((1, 2, 8, 8), np.float32), (4, 4, 4))
+
+    def test_byte_offset_layout(self, rng):
+        x = rng.standard_normal((2, 2, 8, 8)).astype(np.float32)
+        bt = BrickedTensor.from_dense(x, (4, 4))
+        # Batches are the outermost stride; bricks contiguous within.
+        assert bt.byte_offset(1, 0) == bt.grid.num_bricks * bt.brick_nbytes
+        assert bt.byte_offset(0, 2) == 2 * bt.brick_nbytes

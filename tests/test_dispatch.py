@@ -1,0 +1,131 @@
+"""Local (brick-patch) kernel dispatch vs full-tensor dispatch.
+
+The invariant the merged executors rest on: for any op and any output
+region, gathering the op's receptive-field input patch and running the
+padding-free local kernel reproduces exactly the corresponding slice of the
+full-tensor result.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import UnsupportedOpError
+from repro.graph.ops import (
+    Activation,
+    Add,
+    BatchNorm,
+    Concat,
+    Conv,
+    ConvTranspose,
+    Dense,
+    GlobalAvgPool,
+    Pool,
+    Softmax,
+)
+from repro.graph.regions import Interval, Region
+from repro.graph.tensorspec import TensorSpec
+from repro.kernels import apply_node_full, apply_node_local, pad_value_for
+
+
+def check_local_matches_full(op, input_arrays, out_region, rng):
+    """Gather patches per the op's rf maps and compare local vs full slice."""
+    specs = [TensorSpec(a.shape[0], a.shape[1], a.shape[2:]) for a in input_arrays]
+    weights = op.init_weights(specs, rng)
+    full = apply_node_full(op, input_arrays, weights)
+
+    patches = []
+    offsets = (0,) * len(out_region)
+    fill = pad_value_for(op)
+    for idx, arr in enumerate(input_arrays):
+        maps = op.rf_maps(specs, idx)
+        need = Region(m.in_interval(iv) for m, iv in zip(maps, out_region))
+        offsets = tuple(m.local_out_offset(iv.lo, niv.lo) for m, iv, niv in zip(maps, out_region, need))
+        patch = np.full((arr.shape[1], *need.shape), fill, dtype=arr.dtype)
+        valid = need.clip(arr.shape[2:])
+        if not valid.is_empty():
+            src = (0, slice(None), *valid.slices())
+            dst = (slice(None), *valid.slices(origin=[iv.lo for iv in need]))
+            patch[dst] = arr[src]
+        patches.append(patch)
+
+    local = apply_node_local(op, patches, weights, out_region.shape, offsets)
+    expected = full[(0, slice(None), *out_region.slices())]
+    np.testing.assert_allclose(local, expected, atol=1e-4, rtol=1e-4)
+
+
+REGIONS = [
+    Region.from_bounds([0, 0], [4, 4]),      # corner
+    Region.from_bounds([3, 5], [7, 9]),      # interior
+    Region.from_bounds([8, 8], [12, 12]),    # far corner
+]
+
+
+@pytest.mark.parametrize("region", REGIONS)
+class TestLocalEqualsFull2D:
+    def _x(self, rng, c=3, s=12):
+        return rng.standard_normal((1, c, s, s)).astype(np.float32)
+
+    def test_conv(self, region, rng):
+        check_local_matches_full(Conv(out_channels=5, kernel=(3, 3), padding=1), [self._x(rng)], region, rng)
+
+    def test_conv_strided(self, region, rng):
+        op = Conv(out_channels=4, kernel=(3, 3), stride=2, padding=1)
+        x = rng.standard_normal((1, 3, 24, 24)).astype(np.float32)
+        check_local_matches_full(op, [x], region, rng)
+
+    def test_conv_dilated(self, region, rng):
+        op = Conv(out_channels=4, kernel=(3, 3), padding=2, dilation=2)
+        check_local_matches_full(op, [self._x(rng)], region, rng)
+
+    def test_conv_transpose(self, region, rng):
+        op = ConvTranspose(out_channels=4, kernel=(4, 4), stride=2, padding=1)
+        x = rng.standard_normal((1, 3, 8, 8)).astype(np.float32)  # output 16x16
+        check_local_matches_full(op, [x], region, rng)
+
+    def test_maxpool(self, region, rng):
+        op = Pool(kernel=(3, 3), stride=1, padding=1, mode="max")
+        check_local_matches_full(op, [self._x(rng)], region, rng)
+
+    def test_avgpool(self, region, rng):
+        op = Pool(kernel=(2, 2), stride=2)
+        x = rng.standard_normal((1, 3, 24, 24)).astype(np.float32)
+        check_local_matches_full(op, [x], region, rng)
+
+    def test_activation(self, region, rng):
+        check_local_matches_full(Activation("leaky_relu"), [self._x(rng)], region, rng)
+
+    def test_batchnorm(self, region, rng):
+        check_local_matches_full(BatchNorm(), [self._x(rng)], region, rng)
+
+    def test_add(self, region, rng):
+        check_local_matches_full(Add(), [self._x(rng), self._x(rng)], region, rng)
+
+    def test_concat(self, region, rng):
+        check_local_matches_full(Concat(num_inputs=2), [self._x(rng, c=2), self._x(rng, c=3)], region, rng)
+
+    def test_softmax(self, region, rng):
+        check_local_matches_full(Softmax(), [self._x(rng)], region, rng)
+
+
+class TestLocalEqualsFull3D:
+    def test_conv3d(self, rng):
+        op = Conv(out_channels=3, kernel=(3, 3, 3), padding=1)
+        x = rng.standard_normal((1, 2, 8, 8, 8)).astype(np.float32)
+        region = Region.from_bounds([0, 2, 4], [4, 6, 8])
+        check_local_matches_full(op, [x], region, rng)
+
+
+class TestGlobalOpsRejected:
+    def test_global_pool_not_local(self, rng):
+        with pytest.raises(UnsupportedOpError):
+            apply_node_local(GlobalAvgPool(), [np.zeros((1, 4, 4), np.float32)], {}, (1, 1), (0, 0))
+
+    def test_dense_not_local(self):
+        with pytest.raises(UnsupportedOpError):
+            apply_node_local(Dense(out_features=4), [np.zeros((8,), np.float32)], {}, (), ())
+
+
+def test_pad_value_only_maxpool_is_neg_inf():
+    assert pad_value_for(Pool(kernel=(2, 2), mode="max")) == -np.inf
+    assert pad_value_for(Pool(kernel=(2, 2), mode="avg")) == 0.0
+    assert pad_value_for(Conv(out_channels=1, kernel=(3, 3))) == 0.0

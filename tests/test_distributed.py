@@ -1,0 +1,115 @@
+"""Distributed (spatial model parallel) execution tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.reference import ReferenceExecutor
+from repro.distributed import CommModel, DistributedRunner
+from repro.errors import ExecutionError
+from repro.graph.builder import GraphBuilder
+from repro.graph.tensorspec import TensorSpec
+from repro.stencil import build_heat_graph, build_vcycle_graph, reference_heat, reference_vcycle
+
+from testlib import input_for
+
+
+def conv_trunk(size=24):
+    b = GraphBuilder("trunk", TensorSpec(1, 3, (size, size)))
+    b.conv_bn_relu(8, 3, prefix="c1")
+    b.conv_bn_relu(8, 3, prefix="c2")
+    b.conv(8, 3, stride=2, padding=1, name="down")
+    b.conv_bn_relu(8, 3, prefix="c3")
+    return b.finish()
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("ranks", [1, 2, 3, 4])
+    def test_conv_trunk(self, ranks):
+        g = conv_trunk()
+        g.init_weights()
+        x = input_for(g)
+        ref = ReferenceExecutor(g).run(x)
+        res = DistributedRunner(conv_trunk(), num_ranks=ranks).run(x)
+        for k in ref:
+            np.testing.assert_allclose(res.outputs[k], ref[k], atol=1e-4, rtol=1e-4)
+
+    @pytest.mark.parametrize("ranks", [2, 4])
+    def test_heat_chain(self, ranks):
+        u0 = np.random.default_rng(0).standard_normal((32, 32)).astype(np.float32)
+        res = DistributedRunner(build_heat_graph(6, 32), num_ranks=ranks).run(u0[None, None])
+        out = list(res.outputs.values())[0][0, 0]
+        np.testing.assert_allclose(out, reference_heat(u0, 6), atol=1e-5)
+
+    def test_multigrid_vcycle(self):
+        """A branchy graph with restriction and prolongation still splits."""
+        n = 32
+        rng = np.random.default_rng(1)
+        f = rng.standard_normal((n, n)).astype(np.float32)
+        u0 = np.zeros((n, n), np.float32)
+        res = DistributedRunner(build_vcycle_graph(n), num_ranks=4).run(np.stack([u0, f])[None])
+        np.testing.assert_allclose(res.outputs["u_out"][0, 0], reference_vcycle(u0, f), atol=1e-4)
+
+    def test_uneven_partition(self):
+        """Extents not divisible by ranks still reassemble exactly."""
+        g = conv_trunk(size=26)
+        g.init_weights()
+        x = input_for(g)
+        ref = ReferenceExecutor(g).run(x)
+        res = DistributedRunner(conv_trunk(size=26), num_ranks=4).run(x)
+        for k in ref:
+            np.testing.assert_allclose(res.outputs[k], ref[k], atol=1e-4, rtol=1e-4)
+
+
+class TestValidation:
+    def test_global_ops_rejected(self):
+        from testlib import small_chain_graph
+
+        with pytest.raises(ExecutionError, match="global"):
+            DistributedRunner(small_chain_graph(), num_ranks=2)
+
+    def test_too_many_ranks_rejected(self):
+        with pytest.raises(ExecutionError, match="extent"):
+            DistributedRunner(conv_trunk(size=24), num_ranks=16)  # 12-row layer
+
+    def test_functional_needs_input(self):
+        with pytest.raises(ExecutionError):
+            DistributedRunner(conv_trunk(), num_ranks=2).run(None, functional=True)
+
+
+class TestCommunication:
+    def test_single_rank_no_comm(self):
+        u0 = np.zeros((16, 16), np.float32)
+        res = DistributedRunner(build_heat_graph(2, 16), num_ranks=1).run(u0[None, None])
+        assert res.comm.messages == 0 and res.comm.bytes == 0
+
+    def test_deeper_merges_fewer_messages_same_volume(self):
+        u0 = np.random.default_rng(0).standard_normal((32, 32)).astype(np.float32)
+        results = {}
+        for sched in ((1,), (3,), (6,)):
+            r = DistributedRunner(build_heat_graph(6, 32), num_ranks=4, layer_schedule=sched)
+            results[sched] = r.run(u0[None, None])
+        # Message count scales with exchange steps (one per subgraph)...
+        assert results[(1,)].comm.messages > results[(3,)].comm.messages > results[(6,)].comm.messages
+        # ...while total halo volume is the telescoped same.
+        assert results[(1,)].comm.bytes == results[(6,)].comm.bytes
+        # Latency-dominated comm time drops with merging.
+        assert results[(6,)].comm.time_s < results[(1,)].comm.time_s
+
+    def test_redundant_compute_grows_with_depth(self):
+        u0 = np.random.default_rng(0).standard_normal((32, 32)).astype(np.float32)
+        shallow = DistributedRunner(build_heat_graph(6, 32), num_ranks=4, layer_schedule=(1,)).run(u0[None, None])
+        deep = DistributedRunner(build_heat_graph(6, 32), num_ranks=4, layer_schedule=(6,)).run(u0[None, None])
+        assert sum(deep.per_rank_flops) > sum(shallow.per_rank_flops)
+
+    def test_comm_model_costing(self):
+        m = CommModel(latency_s=1e-6, bandwidth=1e9)
+        t = m.exchange_step([1000, 2000])
+        assert t == pytest.approx(1e-6 + 2000 / 1e9)
+        assert m.counters.messages == 2 and m.counters.bytes == 3000
+
+    def test_result_accounting(self):
+        u0 = np.random.default_rng(0).standard_normal((32, 32)).astype(np.float32)
+        res = DistributedRunner(build_heat_graph(4, 32), num_ranks=2).run(u0[None, None])
+        assert res.total_time_s == pytest.approx(res.compute_time_s + res.comm.time_s)
+        assert res.load_imbalance >= 0
+        assert len(res.per_rank_flops) == 2

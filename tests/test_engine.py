@@ -1,0 +1,160 @@
+"""BrickDL engine tests: compilation decisions and end-to-end execution."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import BrickDLEngine
+from repro.core.plan import Strategy
+from repro.core.reference import ReferenceExecutor
+from repro.errors import ExecutionError
+from repro.graph.builder import GraphBuilder
+from repro.graph.tensorspec import TensorSpec
+from repro.gpusim.device import Device
+from repro.gpusim.spec import A100
+
+from testlib import input_for, residual_graph, small_chain_graph
+
+
+class TestCompile:
+    def test_plan_covers_graph(self):
+        g = small_chain_graph()
+        plan = BrickDLEngine(g).compile()
+        ids = [i for s in plan.subgraphs for i in s.subgraph.node_ids]
+        assert sorted(ids) == [n.node_id for n in g.nodes if not n.is_input]
+
+    def test_global_ops_use_cudnn(self):
+        g = small_chain_graph()
+        plan = BrickDLEngine(g).compile()
+        for s in plan.subgraphs:
+            if any(g.node(i).op.is_global for i in s.subgraph.node_ids):
+                assert s.strategy is Strategy.CUDNN
+
+    def test_tiny_layers_fall_back(self):
+        g = small_chain_graph(size=24)  # post-pool layers are tiny
+        plan = BrickDLEngine(g).compile()
+        assert all(s.strategy is Strategy.CUDNN for s in plan.subgraphs)
+
+    def test_large_image_gets_merged_subgraphs(self):
+        g = small_chain_graph(size=48)
+        plan = BrickDLEngine(g).compile()
+        assert plan.merged_count >= 1
+
+    def test_strategy_override(self):
+        g = small_chain_graph(size=48)
+        plan = BrickDLEngine(g, strategy_override=Strategy.PADDED).compile()
+        for s in plan.subgraphs:
+            assert s.strategy in (Strategy.PADDED, Strategy.CUDNN)
+
+    def test_brick_override(self):
+        g = small_chain_graph(size=64)
+        plan = BrickDLEngine(g, brick_override=8).compile()
+        merged = [s for s in plan.subgraphs if s.is_merged]
+        assert merged and all(max(s.brick_shape) == 8 for s in merged)
+
+    def test_plan_summary_renders(self):
+        plan = BrickDLEngine(small_chain_graph(size=48)).compile()
+        text = plan.summary()
+        assert "subgraph" in text and "ExecutionPlan" in text
+
+
+class TestRun:
+    @pytest.mark.parametrize("strategy", [None, Strategy.PADDED, Strategy.MEMOIZED])
+    def test_matches_reference_chain(self, strategy):
+        g = small_chain_graph(size=48)
+        x = input_for(g)
+        ref = ReferenceExecutor(g).run(x)
+        res = BrickDLEngine(small_chain_graph(size=48), strategy_override=strategy).run(x)
+        for name, expected in ref.items():
+            np.testing.assert_allclose(res.outputs[name], expected, atol=1e-4, rtol=1e-3)
+
+    @pytest.mark.parametrize("strategy", [Strategy.PADDED, Strategy.MEMOIZED])
+    def test_matches_reference_residual(self, strategy):
+        g = residual_graph(size=32)
+        x = input_for(g)
+        ref = ReferenceExecutor(g).run(x)
+        res = BrickDLEngine(residual_graph(size=32), strategy_override=strategy).run(x)
+        for name, expected in ref.items():
+            np.testing.assert_allclose(res.outputs[name], expected, atol=1e-4, rtol=1e-3)
+
+    def test_profile_mode_needs_no_inputs(self):
+        g = small_chain_graph(size=48)
+        res = BrickDLEngine(g).run(inputs=None, functional=False)
+        assert res.outputs is None
+        assert res.metrics.num_tasks > 0
+        assert res.metrics.total_time > 0
+
+    def test_profile_and_functional_same_traffic(self):
+        g1 = small_chain_graph(size=48)
+        r1 = BrickDLEngine(g1).run(inputs=None, functional=False)
+        g2 = small_chain_graph(size=48)
+        r2 = BrickDLEngine(g2).run(input_for(g2), functional=True)
+        assert r1.metrics.memory.dram_txns == r2.metrics.memory.dram_txns
+        assert r1.metrics.num_tasks == r2.metrics.num_tasks
+
+    def test_functional_requires_inputs(self):
+        g = small_chain_graph(size=48)
+        with pytest.raises(ExecutionError):
+            BrickDLEngine(g).run(inputs=None, functional=True)
+
+    def test_input_shape_checked(self):
+        g = small_chain_graph(size=48)
+        with pytest.raises(ExecutionError):
+            BrickDLEngine(g).run(np.zeros((1, 3, 8, 8), np.float32))
+
+    def test_layer_schedule_forces_merges(self):
+        b = GraphBuilder("p", TensorSpec(1, 4, (32, 32)))
+        for i in range(4):
+            b.conv(4, 3, padding=0, bias=False, name=f"conv{i}")
+        g = b.finish()
+        eng = BrickDLEngine(g, strategy_override=Strategy.PADDED, brick_override=4,
+                            layer_schedule=(2, 2))
+        plan = eng.compile()
+        assert [len(s.subgraph) for s in plan.subgraphs] == [2, 2]
+        x = input_for(g)
+        ref = ReferenceExecutor(g).run(x)
+        res = eng.run(x)
+        for name, expected in ref.items():
+            np.testing.assert_allclose(res.outputs[name], expected, atol=1e-4, rtol=1e-3)
+
+    def test_memoized_emits_atomics_padded_does_not(self):
+        g = small_chain_graph(size=48)
+        rm = BrickDLEngine(small_chain_graph(size=48), strategy_override=Strategy.MEMOIZED).run(
+            inputs=None, functional=False)
+        rp = BrickDLEngine(small_chain_graph(size=48), strategy_override=Strategy.PADDED).run(
+            inputs=None, functional=False)
+        assert rm.metrics.atomics.compulsory > 0
+        assert rp.metrics.atomics.compulsory == 0
+
+    def test_external_device_reused(self):
+        g = small_chain_graph(size=48)
+        dev = Device(A100)
+        res = BrickDLEngine(g).run(inputs=None, functional=False, device=dev)
+        assert res.metrics.num_tasks == len(dev.tasks)
+
+
+class TestAttribution:
+    def test_per_subgraph_covers_totals(self):
+        from testlib import small_chain_graph
+
+        g = small_chain_graph(size=64)
+        res = BrickDLEngine(g).run(inputs=None, functional=False)
+        assert len(res.per_subgraph) == len(res.plan.subgraphs)
+        assert sum(d["num_tasks"] for d in res.per_subgraph) == res.metrics.num_tasks
+        assert sum(d["flops"] for d in res.per_subgraph) == pytest.approx(res.metrics.total_flops)
+        # Counter growth is attributed without double counting (flush-time
+        # write-backs land after the last snapshot, so <= total).
+        assert sum(d["dram_txns"] for d in res.per_subgraph) <= res.metrics.memory.dram_txns
+
+    def test_attribution_table_renders(self):
+        from testlib import small_chain_graph
+
+        g = small_chain_graph(size=64)
+        res = BrickDLEngine(g).run(inputs=None, functional=False)
+        table = res.attribution_table()
+        assert "per-subgraph attribution" in table and "memoized" in table
+
+    def test_cli_per_subgraph(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "vgg16", "--reduced", "--per-subgraph"]) == 0
+        assert "attribution" in capsys.readouterr().out

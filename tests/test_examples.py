@@ -1,0 +1,26 @@
+"""Every example script must run end-to-end (they double as integration
+tests of the public API)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted((pathlib.Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+def test_examples_exist():
+    names = {p.stem for p in EXAMPLES}
+    assert {"quickstart", "resnet50_inference", "deepcam_segmentation",
+            "microbenchmark_tour", "custom_model"} <= names
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script):
+    args = [sys.executable, str(script)]
+    if script.stem == "resnet50_inference":
+        args.append("96")  # keep the integration run quick
+    proc = subprocess.run(args, capture_output=True, text=True, timeout=420)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "example produced no output"

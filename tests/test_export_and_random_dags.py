@@ -1,0 +1,111 @@
+"""Result export tests and property-based random-DAG equivalence."""
+
+import csv
+import io
+import json
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.bench import figures
+from repro.bench.export import figure_to_csv, figure_to_json, write_figure
+from repro.core.engine import BrickDLEngine
+from repro.core.plan import Strategy
+from repro.core.reference import ReferenceExecutor
+from repro.graph.builder import GraphBuilder
+from repro.graph.tensorspec import TensorSpec
+
+
+@pytest.fixture(scope="module")
+def small_figure():
+    return figures.fig11_brick_size(scale="small", bricks=(8,))
+
+
+class TestExport:
+    def test_csv_structure(self, small_figure):
+        text = figure_to_csv(small_figure)
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0][0] == "group" and "total" in rows[0]
+        assert len(rows) == 1 + sum(len(r) for r in small_figure.groups.values())
+
+    def test_json_roundtrip(self, small_figure):
+        payload = json.loads(figure_to_json(small_figure))
+        assert payload["name"] == small_figure.name
+        group = next(iter(payload["groups"].values()))
+        assert group[0]["label"] == "cudnn"
+
+    def test_write_files(self, small_figure, tmp_path):
+        c = write_figure(small_figure, tmp_path / "fig.csv")
+        j = write_figure(small_figure, tmp_path / "fig.json")
+        assert c.exists() and j.exists()
+        with pytest.raises(ValueError):
+            write_figure(small_figure, tmp_path / "fig.xlsx")
+
+
+@st.composite
+def random_dag(draw):
+    """A random small DAG mixing convs, pointwise ops, adds and concats."""
+    size = draw(st.sampled_from([16, 24]))
+    b = GraphBuilder("dag", TensorSpec(1, 4, (size, size)))
+    frontier = [b.current]
+    n_ops = draw(st.integers(2, 7))
+    for i in range(n_ops):
+        kind = draw(st.sampled_from(["conv", "relu", "bn", "add", "concat", "branch"]))
+        src = frontier[draw(st.integers(0, len(frontier) - 1))]
+        try:
+            if kind == "conv":
+                node = b.conv(4, 3, padding=1, src=src, name=f"n{i}")
+            elif kind == "relu":
+                node = b.relu(src=src, name=f"n{i}")
+            elif kind == "bn":
+                node = b.batchnorm(src=src, name=f"n{i}")
+            elif kind == "add":
+                other = frontier[draw(st.integers(0, len(frontier) - 1))]
+                if other.spec != src.spec:
+                    continue
+                node = b.add(src, other, name=f"n{i}")
+            elif kind == "concat":
+                other = frontier[draw(st.integers(0, len(frontier) - 1))]
+                if other.spec.spatial != src.spec.spatial:
+                    continue
+                node = b.concat([src, other], name=f"n{i}")
+                node = b.conv(4, 1, src=node, name=f"n{i}proj")  # re-normalize channels
+            else:  # branch: add a parallel conv off src
+                node = b.conv(4, 3, padding=1, src=src, name=f"n{i}")
+            frontier.append(node)
+        except Exception:
+            continue
+    # Join the frontier into a single output so everything is live.
+    out = frontier[-1]
+    for other in frontier[:-1]:
+        if other.spec == out.spec:
+            out = b.add(out, other, name=f"join{other.node_id}")
+    return b.finish(output=out)
+
+
+class TestRandomDagEquivalence:
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(random_dag(), st.sampled_from([Strategy.PADDED, Strategy.MEMOIZED]))
+    def test_merged_equals_naive_on_dags(self, graph, strategy):
+        graph.init_weights()
+        x = np.random.default_rng(0).standard_normal(graph.input_nodes[0].spec.shape).astype(np.float32)
+        ref = ReferenceExecutor(graph).run(x)
+        res = BrickDLEngine(graph, strategy_override=strategy, brick_override=4,
+                            layer_schedule=(4,)).run(x)
+        for k in ref:
+            np.testing.assert_allclose(res.outputs[k], ref[k], atol=1e-3, rtol=1e-3)
+
+    @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(random_dag())
+    def test_transforms_preserve_random_dags(self, graph):
+        from repro.graph.transforms import optimize
+
+        graph.init_weights()
+        x = np.random.default_rng(1).standard_normal(graph.input_nodes[0].spec.shape).astype(np.float32)
+        before = ReferenceExecutor(graph).run(x)
+        opt = optimize(graph)
+        after = ReferenceExecutor(opt).run(x)
+        for k in before:
+            np.testing.assert_allclose(after[k], before[k], atol=1e-4, rtol=1e-4)

@@ -1,0 +1,210 @@
+"""Simulated-GPU substrate tests: caches, memory system, timing, device."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.atomics import AtomicCounters, cas_microbenchmark_time
+from repro.gpusim.cache import SectorCache
+from repro.gpusim.device import Device
+from repro.gpusim.memory import AnalyticResidency, MemorySystem
+from repro.gpusim.spec import A100, GPUSpec
+from repro.gpusim.timing import compute_breakdown, schedule_makespan
+from repro.gpusim.trace import Access, Buffer, Task
+
+
+class TestSectorCache:
+    def test_hit_after_miss(self):
+        c = SectorCache(8192, 2048)
+        r1 = c.access(1, 0, 2048, write=False)
+        assert r1.miss_bytes == 2048 and r1.hit_bytes == 0
+        r2 = c.access(1, 0, 2048, write=False)
+        assert r2.hit_bytes == 2048
+
+    def test_lru_eviction_order(self):
+        c = SectorCache(4096, 2048)  # 2 sectors
+        c.access(1, 0, 2048, write=True)
+        c.access(1, 2048, 2048, write=False)
+        c.access(1, 0, 1, write=False)       # refresh sector 0
+        c.access(1, 4096, 2048, write=False)  # evicts sector 1 (LRU)
+        assert c.access(1, 0, 1, write=False).hit_bytes == 1
+        assert c.access(1, 2048, 1, write=False).miss_bytes == 1
+
+    def test_dirty_eviction_accounting(self):
+        c = SectorCache(2048, 2048)
+        c.access(1, 0, 512, write=True)
+        c.access(1, 2048, 2048, write=False)  # evicts dirty sector
+        assert c.drain_evicted_dirty() == 512
+
+    def test_flush_and_discard(self):
+        c = SectorCache(8192, 2048)
+        c.access(1, 0, 100, write=True)
+        c.access(2, 0, 300, write=True)
+        assert c.discard(1) == 1
+        assert c.flush() == 300
+
+    def test_span_accounting(self):
+        c = SectorCache(1 << 20, 2048)
+        r = c.access(1, 1000, 3000, write=False)  # spans 2 sectors
+        assert r.miss_bytes == 3000
+
+    def test_bad_geometry(self):
+        with pytest.raises(ValueError):
+            SectorCache(100, 2048)
+
+
+class TestAnalyticResidency:
+    def test_small_buffer_hits_after_write(self):
+        a = AnalyticResidency(1 << 20)
+        buf = Buffer.new("b", 1 << 16)
+        spilled = a.write(buf, 1 << 16)
+        assert spilled == 0
+        hit, miss = a.read(buf, 1 << 16)
+        assert miss == 0 and hit == 1 << 16
+
+    def test_oversized_buffer_streams(self):
+        a = AnalyticResidency(1 << 20)
+        buf = Buffer.new("big", 1 << 22)
+        assert a.write(buf, 1 << 22) == 1 << 22  # all spilled
+        hit, miss = a.read(buf, 1 << 22)
+        assert hit == 0 and miss == 1 << 22
+
+    def test_lru_between_buffers(self):
+        a = AnalyticResidency(1000)
+        b1, b2 = Buffer.new("x", 800), Buffer.new("y", 800)
+        a.write(b1, 800)
+        a.write(b2, 800)  # evicts b1 entirely
+        hit, _ = a.read(b1, 800)
+        assert hit == 0
+
+    def test_discard_drops_dirty(self):
+        a = AnalyticResidency(1 << 20)
+        buf = Buffer.new("t", 1024)
+        a.write(buf, 1024)
+        a.discard(buf.buffer_id)
+        assert a.flush({}) == 0
+
+
+class TestMemorySystem:
+    def test_blocked_reuse_counts(self):
+        ms = MemorySystem(A100)
+        buf = ms.allocate("bricks", 1 << 20)
+        ms.begin_task()
+        ms.process(Access(buf, 0, 65536, write=False))
+        first = ms.counters.dram_read_txns
+        assert first == 65536 // 32
+        ms.begin_task()
+        ms.process(Access(buf, 0, 65536, write=False))
+        assert ms.counters.dram_read_txns == first  # L2 hit second time
+
+    def test_write_through_l1(self):
+        ms = MemorySystem(A100)
+        buf = ms.allocate("b", 4096)
+        ms.process(Access(buf, 0, 4096, write=True))
+        assert ms.counters.l2_txns == 4096 // 32
+
+    def test_pinned_weights_single_dram_fetch(self):
+        ms = MemorySystem(A100)
+        w = ms.allocate("w", 8192)
+        ms.pin(w)
+        for _ in range(5):
+            ms.process(Access(w, 0, 8192, write=False))
+        assert ms.counters.dram_read_txns == 8192 // 32
+        assert ms.counters.l2_txns == 5 * 8192 // 32
+        ms.unpin(w)
+        ms.process(Access(w, 0, 8192, write=False))
+        assert ms.counters.dram_read_txns > 8192 // 32
+
+    def test_on_chip_counts_l1_only(self):
+        ms = MemorySystem(A100)
+        buf = ms.allocate("scratch", 4096, transient=True)
+        ms.process(Access(buf, 0, 4096, write=True, on_chip=True))
+        assert ms.counters.l1_txns == 4096 // 32
+        assert ms.counters.l2_txns == 0 and ms.counters.dram_txns == 0
+
+    def test_assume_l2_no_dram(self):
+        ms = MemorySystem(A100)
+        buf = ms.allocate("m", 4096)
+        ms.process(Access(buf, 0, 4096, write=False, assume_l2=True))
+        assert ms.counters.dram_txns == 0
+        assert ms.counters.l2_txns == 4096 // 32
+
+    def test_transient_flush_skipped(self):
+        ms = MemorySystem(A100)
+        t = ms.allocate("t", 4096, transient=True)
+        p = ms.allocate("p", 4096)
+        ms.process(Access(t, 0, 4096, write=True))
+        ms.process(Access(p, 0, 4096, write=True))
+        ms.flush()
+        assert ms.counters.dram_write_txns == 4096 // 32  # only persistent
+
+    def test_strided_read_l1_overfetch(self):
+        ms = MemorySystem(A100)
+        buf = ms.allocate("act", 1 << 20)
+        # 64 rows of 50 bytes, stride 256: each row touches 2-3 lines.
+        a = Access(buf, 3, 50, write=False, reps=((64, 256),))
+        ms.process(a)
+        assert ms.counters.l1_txns >= 64 * 2
+
+    def test_dense_big_write_streams(self):
+        ms = MemorySystem(A100)
+        big = ms.allocate("big", 2 * A100.l2_bytes)
+        ms.process(Access(big, 0, big.nbytes, write=True, dense=True))
+        assert ms.counters.dram_write_txns == big.nbytes // 32
+
+
+class TestTiming:
+    def test_makespan_greedy(self):
+        spec = GPUSpec(num_sms=2)
+        assert schedule_makespan(spec, [1.0, 1.0, 1.0]) == 2.0
+        assert schedule_makespan(spec, [3.0, 1.0, 1.0]) == 3.0
+
+    def test_breakdown_identities(self):
+        from repro.gpusim.memory import MemoryCounters
+
+        spec = A100
+        tasks = [Task("t", flops=1e6) for _ in range(10)]
+        mem = MemoryCounters(l1_txns=100, l2_txns=80, dram_read_txns=50, dram_write_txns=20)
+        atomics = AtomicCounters(compulsory=100, conflict=30)
+        bd = compute_breakdown(spec, tasks, mem, atomics, sync_count=2)
+        assert bd.total == pytest.approx(bd.idle + bd.dram)
+        assert bd.total == pytest.approx(
+            bd.other + bd.compute + bd.atomics_compulsory + bd.atomics_conflict
+        )
+        assert bd.idle >= 0 and bd.other >= 0
+
+    def test_task_time_calls(self):
+        assert A100.task_time(0, calls=3) == pytest.approx(3 * A100.call_overhead_s)
+
+
+class TestDevice:
+    def test_submit_and_finish(self):
+        dev = Device(A100)
+        buf = dev.allocate("x", 4096)
+        t = Task("t", flops=1000)
+        t.read(buf, 0, 4096)
+        t.write(buf, 0, 4096)
+        t.atomics_compulsory = 2
+        dev.submit(t)
+        dev.synchronize()
+        m = dev.finish()
+        assert m.num_tasks == 1
+        assert m.atomics.compulsory == 2
+        assert m.total_time > 0
+
+    def test_atomic_microbenchmark_matches_paper(self):
+        _, per_op = cas_microbenchmark_time(A100)
+        assert per_op * 1e9 == pytest.approx(87.45, rel=1e-6)
+
+
+class TestAccessValidation:
+    def test_bounds(self):
+        buf = Buffer.new("b", 100)
+        with pytest.raises(ValueError):
+            Access(buf, 90, 20)
+
+    def test_reps_span_bounds(self):
+        buf = Buffer.new("b", 1000)
+        with pytest.raises(ValueError):
+            Access(buf, 0, 100, reps=((5, 300),))  # span 1300 > 1000
+        a = Access(buf, 0, 100, reps=((4, 300),))
+        assert a.segments == 4 and a.total_bytes == 400 and a.span == 1000

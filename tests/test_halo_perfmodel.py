@@ -1,0 +1,139 @@
+"""Halo static analysis and the compile-time performance models."""
+
+import pytest
+
+from repro.core.halo import chain_padded_sizes, padding_growth, required_regions
+from repro.core.perfmodel import (
+    DEFAULT_CONFIG,
+    PerfModelConfig,
+    choose_brick_size,
+    choose_strategy,
+    parallelism,
+)
+from repro.core.plan import Strategy
+from repro.graph.builder import GraphBuilder
+from repro.graph.regions import Region
+from repro.graph.tensorspec import TensorSpec
+from repro.graph.traversal import subgraph_view
+
+from testlib import residual_graph
+
+
+def conv_chain(n_convs: int, size: int = 32, k: int = 3):
+    b = GraphBuilder("chain", TensorSpec(1, 4, (size, size)))
+    for i in range(n_convs):
+        b.conv(4, k, padding=(k - 1) // 2, bias=False, name=f"conv{i}")
+    return b.finish()
+
+
+class TestRequiredRegions:
+    def test_fig4_telescoping(self):
+        """Paper Fig. 4: brick B needs B+2p after one conv, B+4p after two."""
+        g = conv_chain(2)
+        view = subgraph_view(g, [1, 2])
+        out = Region.from_bounds([8, 8], [16, 16])
+        req = required_regions(view, exit_id=2, out_region=out)
+        assert req[2].shape == (8, 8)
+        assert req[1].shape == (10, 10)
+        assert req[0].shape == (12, 12)
+
+    def test_branch_hull(self):
+        """A skip connection takes the hull of both consumers' needs."""
+        g = residual_graph()
+        ids = [g.node(n).node_id for n in ("b1/conv1", "b1/bn1", "b1/relu1", "b1/conv2", "b1/bn2", "b1/add")]
+        view = subgraph_view(g, ids)
+        add_id = g.node("b1/add").node_id
+        out = Region.from_bounds([8, 8], [12, 12])
+        req = required_regions(view, add_id, out)
+        stem_id = g.node("stem/relu").node_id
+        # Two 3x3 convs on the residual path: entry needs out + 2 halo each
+        # side; the identity path alone would need only `out`.
+        assert req[stem_id].shape == (8, 8)
+
+    def test_exit_must_be_member(self):
+        g = conv_chain(2)
+        view = subgraph_view(g, [1])
+        with pytest.raises(Exception):
+            required_regions(view, 2, Region.from_bounds([0, 0], [4, 4]))
+
+
+class TestPaddingGrowth:
+    def test_pointwise_only_is_zero(self):
+        b = GraphBuilder("pw", TensorSpec(1, 4, (16, 16)))
+        b.relu(name="r1")
+        b.batchnorm(name="bn")
+        g = b.finish()
+        view = subgraph_view(g, [1, 2])
+        assert padding_growth(view, None, (4, 4)) == pytest.approx(0.0)
+
+    def test_growth_increases_with_depth(self):
+        deltas = []
+        for n in (1, 2, 4):
+            g = conv_chain(n)
+            view = subgraph_view(g, list(range(1, n + 1)))
+            deltas.append(padding_growth(view, None, (4, 4)))
+        assert deltas[0] < deltas[1] < deltas[2]
+
+    def test_growth_decreases_with_brick_size(self):
+        g = conv_chain(2)
+        view = subgraph_view(g, [1, 2])
+        d4 = padding_growth(view, None, (4, 4))
+        d8 = padding_growth(view, None, (8, 8))
+        d16 = padding_growth(view, None, (16, 16))
+        assert d4 > d8 > d16
+
+    def test_strided_subgraph_can_be_negative(self):
+        """Stride-2 1x1 convs read only a quarter of the input."""
+        b = GraphBuilder("s", TensorSpec(1, 4, (16, 16)))
+        b.conv(4, 1, stride=2, bias=False, name="c")
+        g = b.finish()
+        view = subgraph_view(g, [1])
+        assert padding_growth(view, None, (4, 4)) < 0
+
+    def test_chain_padded_sizes_reports_fig4(self):
+        g = conv_chain(2, size=64)
+        view = subgraph_view(g, [1, 2])
+        sizes = dict(chain_padded_sizes(view, 2, (8, 8)))
+        assert sizes["conv1"] == (8, 8)
+        assert sizes["conv0"] == (10, 10)
+
+
+class TestBrickSizeModel:
+    def test_paper_112_cubed_picks_8(self):
+        d = choose_brick_size((112, 112, 112), kernel_extent=3)
+        assert d.brick == 8 and not d.fallback
+
+    def test_paper_224_cubed_picks_16(self):
+        d = choose_brick_size((224, 224, 224), kernel_extent=3)
+        assert d.brick == 16 and not d.fallback
+
+    def test_2d_picks_smallest_candidate(self):
+        d = choose_brick_size((56, 56), kernel_extent=3)
+        assert d.brick == 4
+
+    def test_rho_must_not_exceed_tau(self):
+        d = choose_brick_size((112, 112, 112))
+        assert d.rho <= DEFAULT_CONFIG.tau
+
+    def test_tiny_layer_falls_back(self):
+        d = choose_brick_size((7, 7), kernel_extent=3)
+        assert d.fallback
+
+    def test_kernel_constraint_excludes_small_bricks(self):
+        # Effective 9-wide (dilated) kernels need at least 16-bricks.
+        d = choose_brick_size((64, 64), kernel_extent=9)
+        assert d.brick >= 16
+
+    def test_parallelism_formula(self):
+        assert parallelism((16, 16), 4) == 16.0
+
+
+class TestStrategyModel:
+    def test_threshold(self):
+        assert choose_strategy(0.10) is Strategy.PADDED
+        assert choose_strategy(0.20) is Strategy.MEMOIZED
+        assert choose_strategy(0.15) is Strategy.PADDED  # strictly greater
+
+    def test_custom_threshold(self):
+        cfg = PerfModelConfig(delta_threshold=0.5)
+        assert choose_strategy(0.3, cfg) is Strategy.PADDED

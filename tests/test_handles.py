@@ -1,0 +1,104 @@
+"""Tensor handle tests: access emission geometry and mode guards."""
+
+import numpy as np
+import pytest
+
+from repro.core.handles import BrickedHandle, DenseHandle
+from repro.errors import ExecutionError
+from repro.graph.regions import Region
+from repro.graph.tensorspec import TensorSpec
+from repro.gpusim.trace import Buffer, Task
+
+
+def dense_handle(functional=True, spatial=(8, 12), c=2):
+    spec = TensorSpec(1, c, spatial)
+    buf = Buffer.new("d", spec.nbytes)
+    data = np.arange(spec.num_elements, dtype=np.float32).reshape(spec.shape) if functional else None
+    return DenseHandle(spec, buf, data)
+
+
+def bricked_handle(functional=True, spatial=(8, 12), c=2, brick=(4, 4)):
+    spec = TensorSpec(1, c, spatial)
+    import math
+
+    grid_bricks = math.prod(-(-e // b) for e, b in zip(spatial, brick))
+    buf = Buffer.new("b", grid_bricks * c * math.prod(brick) * 4)
+    return BrickedHandle.create(spec, brick, buf, functional)
+
+
+class TestDenseHandle:
+    def test_region_access_geometry(self):
+        h = dense_handle()
+        task = Task("t")
+        h.emit_region_read(task, 0, Region.from_bounds([2, 3], [5, 9]))
+        (a,) = task.accesses
+        assert a.nbytes == 6 * 4                       # 6-wide row segment
+        assert a.reps == ((2, 8 * 12 * 4), (3, 12 * 4))  # channels x rows
+        assert a.offset == (2 * 12 + 3) * 4
+        assert a.dense
+
+    def test_region_clip(self):
+        h = dense_handle()
+        task = Task("t")
+        h.emit_region_read(task, 0, Region.from_bounds([-2, -2], [3, 3]))
+        (a,) = task.accesses
+        assert a.offset == 0
+        assert a.segments == 2 * 3
+
+    def test_empty_region_emits_nothing(self):
+        h = dense_handle()
+        task = Task("t")
+        h.emit_region_read(task, 0, Region.from_bounds([10, 0], [9, 4]))
+        assert not task.accesses
+
+    def test_gather_matches_data(self):
+        h = dense_handle()
+        patch = h.gather(0, Region.from_bounds([1, 2], [4, 6]))
+        np.testing.assert_array_equal(patch, h.data[0][:, 1:4, 2:6])
+
+    def test_gather_fill_outside(self):
+        h = dense_handle()
+        patch = h.gather(0, Region.from_bounds([-1, 0], [1, 2]), fill=-7.0)
+        assert (patch[:, 0, :] == -7.0).all()
+
+    def test_profile_mode_guard(self):
+        h = dense_handle(functional=False)
+        with pytest.raises(ExecutionError):
+            h.require_data()
+
+
+class TestBrickedHandle:
+    def test_brick_offsets_contiguous(self):
+        h = bricked_handle()
+        n = h.brick_nbytes
+        assert h.brick_offset(0, (0, 0)) == 0
+        assert h.brick_offset(0, (0, 1)) == n
+        assert h.brick_offset(0, (1, 0)) == 3 * n  # grid is 2x3
+
+    def test_region_read_counts_bricks(self):
+        h = bricked_handle()
+        task = Task("t")
+        count = h.emit_region_read(task, 0, Region.from_bounds([3, 3], [5, 5]))
+        assert count == 4  # straddles a 2x2 brick neighborhood
+        assert all(a.nbytes == h.brick_nbytes for a in task.accesses)
+
+    def test_brick_write(self):
+        h = bricked_handle()
+        task = Task("t")
+        h.emit_brick_write(task, 0, (1, 2))
+        (a,) = task.accesses
+        assert a.write and a.offset == h.brick_offset(0, (1, 2))
+
+    def test_profile_mode_has_no_data(self):
+        h = bricked_handle(functional=False)
+        assert h.data is None
+        with pytest.raises(ExecutionError):
+            h.gather(0, Region.from_bounds([0, 0], [2, 2]))
+
+    def test_profile_physical_is_identity(self):
+        h = bricked_handle(functional=False)
+        assert h.physical((1, 2)) == 1 * 3 + 2
+
+    def test_bricks_enumerates_grid(self):
+        h = bricked_handle()
+        assert len(list(h.bricks())) == h.grid.num_bricks

@@ -1,0 +1,113 @@
+"""Graph IR and builder tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError, ShapeError
+from repro.graph.builder import GraphBuilder
+from repro.graph.ir import Graph
+from repro.graph.ops import Activation, Conv
+from repro.graph.tensorspec import TensorSpec
+
+from testlib import residual_graph, small_chain_graph
+
+
+class TestGraph:
+    def test_insertion_is_topological(self):
+        g = small_chain_graph()
+        for node in g.nodes:
+            assert all(i < node.node_id for i in node.inputs)
+
+    def test_duplicate_name_rejected(self):
+        g = Graph("t")
+        g.input(TensorSpec(1, 1, (4, 4)), name="x")
+        with pytest.raises(GraphError):
+            g.input(TensorSpec(1, 1, (4, 4)), name="x")
+
+    def test_bad_input_reference(self):
+        g = Graph("t")
+        g.input(TensorSpec(1, 1, (4, 4)))
+        with pytest.raises(GraphError):
+            g.add(Activation("relu"), [7])
+
+    def test_shape_error_annotated_with_name(self):
+        g = Graph("t")
+        x = g.input(TensorSpec(1, 3, (4, 4)))
+        with pytest.raises(ShapeError, match="bigconv"):
+            g.add(Conv(out_channels=4, kernel=(9, 9)), [x], name="bigconv")
+
+    def test_consumers_tracked(self):
+        g = residual_graph()
+        add_node = g.node("b1/add")
+        for pred in add_node.inputs:
+            assert add_node.node_id in g.consumers(pred)
+
+    def test_outputs_default_to_sinks(self):
+        g = Graph("t")
+        x = g.input(TensorSpec(1, 1, (4, 4)))
+        y = g.add(Activation("relu"), [x])
+        assert g.output_nodes == (y,)
+
+    def test_node_lookup_by_name_and_id(self):
+        g = small_chain_graph()
+        n = g.node("c1/conv")
+        assert g.node(n.node_id) is n
+        with pytest.raises(GraphError):
+            g.node("does-not-exist")
+
+    def test_init_weights_idempotent(self):
+        g = small_chain_graph()
+        g.init_weights(seed=3)
+        w1 = g.node("c1/conv").weights["weight"]
+        g.init_weights(seed=4)  # must not reinitialize
+        assert g.node("c1/conv").weights["weight"] is w1
+
+    def test_weight_bytes_positive(self):
+        g = small_chain_graph()
+        g.init_weights()
+        assert g.weight_bytes() > 0
+
+    def test_total_flops_positive(self):
+        assert small_chain_graph().total_flops() > 0
+
+    def test_summary_mentions_all_nodes(self):
+        g = small_chain_graph()
+        s = g.summary()
+        for node in g.nodes:
+            assert node.name in s
+
+
+class TestBuilder:
+    def test_same_padding(self):
+        b = GraphBuilder("t", TensorSpec(1, 3, (16, 16)))
+        n = b.conv(8, 5, padding="same")
+        assert n.spec.spatial == (16, 16)
+
+    def test_same_padding_with_dilation(self):
+        b = GraphBuilder("t", TensorSpec(1, 3, (16, 16)))
+        n = b.conv(8, 3, padding="same", dilation=2)
+        assert n.spec.spatial == (16, 16)
+
+    def test_branching_with_at(self):
+        b = GraphBuilder("t", TensorSpec(1, 3, (16, 16)))
+        root = b.conv(8, 3, padding=1)
+        left = b.conv(8, 3, padding=1, src=root, name="left")
+        right = b.conv(8, 3, padding=1, src=root, name="right")
+        out = b.add(left, right)
+        assert set(out.inputs) == {left.node_id, right.node_id}
+
+    def test_concat_requires_two(self):
+        b = GraphBuilder("t", TensorSpec(1, 3, (16, 16)))
+        x = b.conv(4, 1)
+        with pytest.raises(GraphError):
+            b.concat([x])
+
+    def test_classifier_marks_output(self):
+        g = small_chain_graph()
+        assert g.output_nodes[0].name == "head/softmax"
+
+    def test_finish_validates(self):
+        b = GraphBuilder("t", TensorSpec(1, 3, (8, 8)))
+        b.relu()
+        g = b.finish()
+        g.validate()

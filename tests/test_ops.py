@@ -1,0 +1,175 @@
+"""Shape inference, flop counts and classification of every operator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.graph.ops import (
+    Activation,
+    Add,
+    BatchNorm,
+    Bias,
+    Concat,
+    Conv,
+    ConvTranspose,
+    Dense,
+    Flatten,
+    GlobalAvgPool,
+    InputOp,
+    Pool,
+    Softmax,
+    normalize_tuple,
+)
+from repro.graph.tensorspec import TensorSpec
+
+
+def spec2d(c=8, h=16, w=16, n=1):
+    return TensorSpec(n, c, (h, w))
+
+
+class TestConv:
+    def test_same_padding_shape(self):
+        op = Conv(out_channels=16, kernel=(3, 3), padding=1)
+        out = op.infer([spec2d()])
+        assert out.shape == (1, 16, 16, 16)
+
+    def test_strided_dilated(self):
+        op = Conv(out_channels=4, kernel=(3, 3), stride=2, padding=2, dilation=2)
+        out = op.infer([spec2d(h=17, w=17)])
+        # (17 + 4 - 5)//2 + 1 = 9
+        assert out.spatial == (9, 9)
+
+    def test_3d(self):
+        op = Conv(out_channels=4, kernel=(3, 3, 3), padding=1)
+        out = op.infer([TensorSpec(1, 2, (8, 9, 10))])
+        assert out.spatial == (8, 9, 10)
+
+    def test_depthwise_groups(self):
+        op = Conv(out_channels=8, kernel=(3, 3), padding=1, groups=8)
+        out = op.infer([spec2d(c=8)])
+        assert out.channels == 8
+        w = op.init_weights([spec2d(c=8)], np.random.default_rng(0))
+        assert w["weight"].shape == (8, 1, 3, 3)
+
+    def test_group_mismatch(self):
+        with pytest.raises(ShapeError):
+            Conv(out_channels=8, kernel=(3, 3), groups=3).infer([spec2d(c=8)])
+
+    def test_rank_mismatch(self):
+        with pytest.raises(ShapeError):
+            Conv(out_channels=8, kernel=(3, 3, 3)).infer([spec2d()])
+
+    def test_flops(self):
+        op = Conv(out_channels=16, kernel=(3, 3), padding=1)
+        assert op.flops_per_element([spec2d(c=8)]) == 2 * 8 * 9
+
+    def test_classification(self):
+        op = Conv(out_channels=16, kernel=(3, 3))
+        assert op.is_local and not op.is_global and not op.is_pointwise
+
+
+class TestConvTranspose:
+    def test_shape(self):
+        op = ConvTranspose(out_channels=8, kernel=(4, 4), stride=2, padding=1)
+        out = op.infer([spec2d(h=10, w=12)])
+        assert out.spatial == (20, 24)
+
+    def test_weights_layout(self):
+        op = ConvTranspose(out_channels=8, kernel=(4, 4), stride=2, padding=1)
+        w = op.init_weights([spec2d(c=6)], np.random.default_rng(0))
+        assert w["weight"].shape == (6, 8, 4, 4)
+
+
+class TestPool:
+    def test_max_default_stride(self):
+        op = Pool(kernel=(2, 2))
+        assert op.infer([spec2d()]).spatial == (8, 8)
+        assert op.is_reduction
+
+    def test_padded_pool(self):
+        op = Pool(kernel=(3, 3), stride=2, padding=1)
+        assert op.infer([spec2d()]).spatial == (8, 8)
+
+    def test_bad_mode(self):
+        with pytest.raises(ShapeError):
+            Pool(kernel=(2, 2), mode="median")
+
+
+class TestPointwise:
+    def test_activation_preserves_spec(self):
+        s = spec2d()
+        assert Activation("relu").infer([s]) == s
+        assert Activation("relu").is_pointwise
+
+    def test_unknown_activation(self):
+        with pytest.raises(ShapeError):
+            Activation("gelu")
+
+    def test_batchnorm_weights(self):
+        w = BatchNorm().init_weights([spec2d(c=5)], np.random.default_rng(0))
+        assert w["scale"].shape == (5,) and w["shift"].shape == (5,)
+
+    def test_bias(self):
+        assert Bias().infer([spec2d()]) == spec2d()
+
+    def test_add_shape_check(self):
+        with pytest.raises(ShapeError):
+            Add().infer([spec2d(c=4), spec2d(c=8)])
+        assert Add().infer([spec2d(), spec2d()]) == spec2d()
+
+    def test_softmax(self):
+        assert Softmax().infer([spec2d()]) == spec2d()
+        assert Softmax().is_pointwise
+
+
+class TestConcat:
+    def test_channel_concat(self):
+        op = Concat(num_inputs=3)
+        out = op.infer([spec2d(c=2), spec2d(c=3), spec2d(c=5)])
+        assert out.channels == 10
+
+    def test_spatial_mismatch(self):
+        with pytest.raises(ShapeError):
+            Concat(num_inputs=2).infer([spec2d(h=8), spec2d(h=9)])
+
+    def test_arity(self):
+        with pytest.raises(ShapeError):
+            Concat(num_inputs=3).infer([spec2d(), spec2d()])
+
+
+class TestHeads:
+    def test_global_avg_pool(self):
+        op = GlobalAvgPool()
+        out = op.infer([spec2d(c=7)])
+        assert out.spatial == (1, 1) and out.channels == 7
+        assert op.is_global and op.is_reduction
+
+    def test_flatten_dense(self):
+        flat = Flatten().infer([spec2d(c=4, h=2, w=3)])
+        assert flat.channels == 24 and flat.spatial == ()
+        out = Dense(out_features=10).infer([flat])
+        assert out.channels == 10
+
+    def test_dense_requires_flat(self):
+        with pytest.raises(ShapeError):
+            Dense(out_features=10).infer([spec2d()])
+
+
+class TestMisc:
+    def test_input_op(self):
+        s = spec2d()
+        assert InputOp(s).infer([]) == s
+        with pytest.raises(ShapeError):
+            InputOp(s).infer([s])
+
+    def test_normalize_tuple(self):
+        assert normalize_tuple(3, 2, "x") == (3, 3)
+        assert normalize_tuple((1, 2), 2, "x") == (1, 2)
+        with pytest.raises(ShapeError):
+            normalize_tuple((1, 2, 3), 2, "x")
+
+    def test_weight_bytes_matches_init(self):
+        op = Conv(out_channels=16, kernel=(3, 3), bias=True)
+        specs = [spec2d(c=8)]
+        ws = op.init_weights(specs, np.random.default_rng(0))
+        assert op.weight_bytes(specs) == sum(w.nbytes for w in ws.values())

@@ -1,0 +1,83 @@
+"""Graph serialization round-trip tests."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.reference import ReferenceExecutor
+from repro.errors import GraphError
+from repro.graph.serialize import graph_from_dict, graph_to_dict, load_graph, save_graph
+from repro.models import build
+
+from testlib import input_for, residual_graph, small_chain_graph
+
+
+class TestDictRoundtrip:
+    @pytest.mark.parametrize("make", [small_chain_graph, residual_graph])
+    def test_structure_preserved(self, make):
+        g = make()
+        g2 = graph_from_dict(graph_to_dict(g))
+        assert len(g2) == len(g)
+        for a, b in zip(g.nodes, g2.nodes):
+            assert a.name == b.name and a.op == b.op and a.inputs == b.inputs
+        assert [n.name for n in g2.output_nodes] == [n.name for n in g.output_nodes]
+
+    def test_json_serializable(self):
+        g = small_chain_graph()
+        text = json.dumps(graph_to_dict(g))
+        g2 = graph_from_dict(json.loads(text))
+        assert len(g2) == len(g)
+
+    def test_model_zoo_roundtrip(self):
+        for name in ("resnet50", "deepcam", "inception_v4"):
+            g = build(name, reduced=True)
+            g2 = graph_from_dict(graph_to_dict(g))
+            assert len(g2) == len(g)
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(GraphError):
+            graph_from_dict({"format": 99, "name": "x", "nodes": [], "outputs": []})
+
+    def test_unknown_op_rejected(self):
+        d = graph_to_dict(small_chain_graph())
+        d["nodes"][1]["op"]["kind"] = "FancyOp"
+        with pytest.raises(GraphError):
+            graph_from_dict(d)
+
+
+class TestFileRoundtrip:
+    def test_save_load_with_weights(self, tmp_path):
+        g = small_chain_graph()
+        g.init_weights(seed=5)
+        x = input_for(g)
+        expected = ReferenceExecutor(g).run(x)
+
+        path = tmp_path / "model.json"
+        save_graph(g, path)
+        assert path.exists() and path.with_suffix(".json.npz").exists()
+
+        loaded = load_graph(path)
+        got = ReferenceExecutor(loaded).run(x)
+        for k in expected:
+            np.testing.assert_array_equal(got[k], expected[k])
+
+    def test_save_without_weights(self, tmp_path):
+        g = small_chain_graph()
+        path = tmp_path / "structure.json"
+        save_graph(g, path, weights=False)
+        loaded = load_graph(path)
+        assert not loaded.node("c1/conv").weights
+        # Fresh deterministic weights still make it runnable.
+        ReferenceExecutor(loaded).run(input_for(loaded))
+
+    def test_stencil_fixed_weights_roundtrip(self, tmp_path):
+        from repro.stencil import build_heat_graph, reference_heat
+
+        g = build_heat_graph(3, 16)
+        path = tmp_path / "heat.json"
+        save_graph(g, path)
+        loaded = load_graph(path)
+        u0 = np.random.default_rng(0).standard_normal((16, 16)).astype(np.float32)
+        out = ReferenceExecutor(loaded).run(u0[None, None])
+        np.testing.assert_allclose(list(out.values())[0][0, 0], reference_heat(u0, 3), atol=1e-5)

@@ -1,0 +1,126 @@
+"""Stencil/HPC subpackage tests: physics correctness and merged-execution
+equivalence for the heat equation and the multigrid V-cycle."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import BrickDLEngine
+from repro.core.plan import Strategy
+from repro.core.reference import ReferenceExecutor
+from repro.errors import ShapeError
+from repro.stencil import (
+    build_heat_graph,
+    build_vcycle_graph,
+    reference_heat,
+    reference_vcycle,
+    stencil_weights,
+)
+from repro.stencil.multigrid import _apply_a
+
+
+class TestStencilWeights:
+    def test_2d_kernel(self):
+        w = stencil_weights(2, alpha=0.1)
+        assert w.shape == (1, 1, 3, 3)
+        assert w[0, 0, 1, 1] == pytest.approx(1 - 0.4)
+        assert w[0, 0, 0, 1] == pytest.approx(0.1)
+        assert w[0, 0, 0, 0] == 0.0  # no diagonal taps
+
+    def test_3d_kernel_sums_to_one(self):
+        w = stencil_weights(3, alpha=0.05)
+        assert w.sum() == pytest.approx(1.0)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ShapeError):
+            stencil_weights(1, 0.1)
+
+    def test_unstable_alpha_rejected(self):
+        with pytest.raises(ShapeError):
+            build_heat_graph(2, 16, ndim=2, alpha=0.5)
+
+
+class TestHeat:
+    def test_graph_matches_numpy_2d(self, rng):
+        u0 = rng.standard_normal((20, 20)).astype(np.float32)
+        g = build_heat_graph(steps=5, size=20)
+        out = ReferenceExecutor(g).run(u0[None, None])
+        np.testing.assert_allclose(list(out.values())[0][0, 0], reference_heat(u0, 5),
+                                   atol=1e-5)
+
+    def test_graph_matches_numpy_3d(self, rng):
+        u0 = rng.standard_normal((8, 8, 8)).astype(np.float32)
+        g = build_heat_graph(steps=3, size=8, ndim=3, alpha=0.05)
+        out = ReferenceExecutor(g).run(u0[None, None])
+        np.testing.assert_allclose(list(out.values())[0][0, 0],
+                                   reference_heat(u0, 3, alpha=0.05), atol=1e-5)
+
+    @pytest.mark.parametrize("strategy", [Strategy.PADDED, Strategy.MEMOIZED, Strategy.WAVEFRONT])
+    def test_merged_equals_numpy(self, strategy, rng):
+        u0 = rng.standard_normal((24, 24)).astype(np.float32)
+        engine = BrickDLEngine(build_heat_graph(4, 24), strategy_override=strategy,
+                               brick_override=4, layer_schedule=(4,))
+        res = engine.run(u0[None, None])
+        np.testing.assert_allclose(list(res.outputs.values())[0][0, 0],
+                                   reference_heat(u0, 4), atol=1e-4)
+
+    def test_diffusion_smooths(self, rng):
+        """Physics sanity: diffusion reduces variance, conserves nothing
+        at the absorbing boundary (energy decays)."""
+        u0 = rng.standard_normal((32, 32)).astype(np.float32)
+        u = reference_heat(u0, 20)
+        assert u.std() < u0.std()
+        assert np.abs(u).sum() < np.abs(u0).sum()
+
+    def test_constant_interior_steady(self):
+        """Away from boundaries, a uniform field stays uniform (kernel sums
+        to 1)."""
+        u0 = np.ones((16, 16), np.float32)
+        u = reference_heat(u0, 1)
+        np.testing.assert_allclose(u[4:-4, 4:-4], 1.0, atol=1e-6)
+
+
+class TestVcycle:
+    def _problem(self, n=32, seed=3):
+        rng = np.random.default_rng(seed)
+        f = rng.standard_normal((n, n)).astype(np.float32)
+        return np.zeros((n, n), np.float32), f
+
+    def test_graph_matches_numpy(self):
+        u0, f = self._problem()
+        g = build_vcycle_graph(32)
+        out = ReferenceExecutor(g).run(np.stack([u0, f])[None])["u_out"][0, 0]
+        np.testing.assert_allclose(out, reference_vcycle(u0, f), atol=1e-4)
+
+    def test_merged_matches_numpy(self):
+        u0, f = self._problem()
+        res = BrickDLEngine(build_vcycle_graph(32)).run(np.stack([u0, f])[None])
+        np.testing.assert_allclose(res.outputs["u_out"][0, 0],
+                                   reference_vcycle(u0, f), atol=1e-4)
+
+    def test_residual_decreases(self):
+        u0, f = self._problem()
+        u1 = reference_vcycle(u0, f)
+        r0 = np.linalg.norm(f - _apply_a(u0))
+        r1 = np.linalg.norm(f - _apply_a(u1))
+        assert r1 < 0.5 * r0
+
+    def test_iterated_cycles_converge(self):
+        u0, f = self._problem(n=16)
+        u = u0
+        norms = [np.linalg.norm(f - _apply_a(u))]
+        for _ in range(4):
+            u = reference_vcycle(u, f)
+            norms.append(np.linalg.norm(f - _apply_a(u)))
+        assert norms[-1] < norms[0] * 0.2
+        assert all(b <= a * 1.001 for a, b in zip(norms, norms[1:]))
+
+    def test_odd_size_rejected(self):
+        with pytest.raises(ShapeError):
+            build_vcycle_graph(31)
+
+    def test_zero_rhs_fixed_point(self):
+        """f = 0, u = 0 is the exact solution; the cycle must keep it."""
+        u0 = np.zeros((16, 16), np.float32)
+        f = np.zeros((16, 16), np.float32)
+        out = reference_vcycle(u0, f)
+        np.testing.assert_array_equal(out, 0.0)

@@ -1,0 +1,158 @@
+"""Graph-rewriting pass tests: numerical preservation and structure."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import BrickDLEngine
+from repro.core.reference import ReferenceExecutor
+from repro.graph.builder import GraphBuilder
+from repro.graph.ops import BatchNorm, Conv
+from repro.graph.tensorspec import TensorSpec
+from repro.graph.transforms import (
+    eliminate_common_subexpressions,
+    eliminate_dead_nodes,
+    fold_batchnorm,
+    optimize,
+)
+
+from testlib import input_for, residual_graph, small_chain_graph
+
+
+def run_outputs(graph, x):
+    return ReferenceExecutor(graph).run(x)
+
+
+class TestFoldBatchnorm:
+    def test_bn_removed_and_values_preserved(self):
+        g = small_chain_graph(size=32)
+        g.init_weights()
+        x = input_for(g)
+        before = run_outputs(g, x)
+        folded = fold_batchnorm(g)
+        assert not any(isinstance(n.op, BatchNorm) for n in folded.nodes)
+        after = run_outputs(folded, x)
+        for k in before:
+            np.testing.assert_allclose(after[k], before[k], atol=1e-4, rtol=1e-4)
+
+    def test_folded_conv_gains_bias(self):
+        g = small_chain_graph(size=32)
+        folded = fold_batchnorm(g)
+        conv = folded.node("c1/conv")
+        assert isinstance(conv.op, Conv) and conv.op.bias
+        assert "bias" in conv.weights
+
+    def test_residual_graph_preserved(self):
+        g = residual_graph()
+        g.init_weights()
+        x = input_for(g)
+        before = run_outputs(g, x)
+        folded = fold_batchnorm(g)
+        after = run_outputs(folded, x)
+        for k in before:
+            np.testing.assert_allclose(after[k], before[k], atol=1e-4, rtol=1e-4)
+        assert len(folded) < len(g)
+
+    def test_bn_with_two_consumers_kept(self):
+        b = GraphBuilder("t", TensorSpec(1, 3, (16, 16)))
+        c = b.conv(4, 3, padding=1, bias=False, name="conv")
+        left = b.relu(src=c, name="left")
+        right = b.batchnorm(src=c, name="right")  # conv has 2 consumers
+        b.add(left, right, name="join")
+        g = b.finish()
+        folded = fold_batchnorm(g)
+        assert any(isinstance(n.op, BatchNorm) for n in folded.nodes)
+
+    def test_noop_when_nothing_to_fold(self):
+        b = GraphBuilder("t", TensorSpec(1, 3, (8, 8)))
+        b.conv(4, 3, padding=1, name="conv")
+        g = b.finish()
+        assert fold_batchnorm(g) is g
+
+    def test_merged_execution_on_folded_graph(self):
+        g = small_chain_graph(size=48)
+        g.init_weights()
+        x = input_for(g)
+        before = run_outputs(g, x)
+        folded = fold_batchnorm(g)
+        res = BrickDLEngine(folded).run(x)
+        for k in before:
+            np.testing.assert_allclose(res.outputs[k], before[k], atol=1e-3, rtol=1e-3)
+
+
+class TestDeadCode:
+    def test_unused_branch_removed(self):
+        b = GraphBuilder("t", TensorSpec(1, 3, (8, 8)))
+        used = b.conv(4, 3, padding=1, name="used")
+        b.conv(4, 3, padding=1, src=b.graph.node("input"), name="dead")
+        b.relu(src=used, name="out")
+        g = b.finish(output=b.graph.node("out"))
+        pruned = eliminate_dead_nodes(g)
+        names = [n.name for n in pruned.nodes]
+        assert "dead" not in names and "used" in names
+
+    def test_all_live_is_noop(self):
+        g = small_chain_graph()
+        assert eliminate_dead_nodes(g) is g
+
+
+class TestCse:
+    def test_identical_convs_merged(self):
+        b = GraphBuilder("t", TensorSpec(1, 3, (8, 8)))
+        root = b.current
+        op = Conv(out_channels=4, kernel=(3, 3), padding=1, bias=False)
+        a = b.graph.add(op, [root], name="a")
+        c = b.graph.add(op, [root], name="c")
+        c.weights = a.weights = {"weight": np.ones((4, 3, 3, 3), np.float32)}
+        out = b.add(a, c, name="sum")
+        g = b.finish(output=out)
+        g.init_weights()
+        x = input_for(g)
+        before = run_outputs(g, x)["sum"]
+        merged = eliminate_common_subexpressions(g)
+        assert len(merged) < len(g)
+        after = run_outputs(merged, x)["sum"]
+        np.testing.assert_allclose(after, before, atol=1e-5)
+
+    def test_different_weights_not_merged(self):
+        b = GraphBuilder("t", TensorSpec(1, 3, (8, 8)))
+        root = b.current
+        op = Conv(out_channels=4, kernel=(3, 3), padding=1, bias=False)
+        a = b.graph.add(op, [root], name="a")
+        c = b.graph.add(op, [root], name="c")
+        a.weights = {"weight": np.ones((4, 3, 3, 3), np.float32)}
+        c.weights = {"weight": np.zeros((4, 3, 3, 3), np.float32)}
+        out = b.add(a, c, name="sum")
+        g = b.finish(output=out)
+        assert len(eliminate_common_subexpressions(g)) == len(g)
+
+
+class TestPipeline:
+    @pytest.mark.parametrize("make", [small_chain_graph, residual_graph])
+    def test_optimize_preserves_outputs(self, make):
+        g = make()
+        g.init_weights()
+        x = input_for(g)
+        before = run_outputs(g, x)
+        opt = optimize(g)
+        after = run_outputs(opt, x)
+        for k in before:
+            np.testing.assert_allclose(after[k], before[k], atol=1e-4, rtol=1e-4)
+
+    def test_optimize_shrinks_models(self):
+        from repro.models import build
+
+        g = build("resnet50", reduced=True)
+        opt = optimize(g)
+        assert len(opt) < len(g)
+
+    def test_optimized_model_runs_merged(self):
+        from repro.models import build
+
+        g = build("deepcam", reduced=True)
+        g.init_weights()
+        x = input_for(g)
+        before = run_outputs(g, x)
+        opt = optimize(g)
+        res = BrickDLEngine(opt).run(x)
+        for k in before:
+            np.testing.assert_allclose(res.outputs[k], before[k], atol=2e-3, rtol=1e-2)

@@ -1,0 +1,50 @@
+"""Shared graph-building helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.tensorspec import TensorSpec
+
+
+def small_chain_graph(size: int = 48, channels: int = 3, name: str = "chain"):
+    """conv-bn-relu x2 + pool + strided conv + head: exercises every basic
+    op class and produces at least one merged subgraph at 48x48."""
+    b = GraphBuilder(name, TensorSpec(1, channels, (size, size)))
+    b.conv_bn_relu(8, 3, prefix="c1")
+    b.conv_bn_relu(8, 3, prefix="c2")
+    b.maxpool(2, name="pool")
+    b.conv_bn_relu(16, 3, stride=2, prefix="c3")
+    b.classifier(10)
+    return b.graph
+
+
+def residual_graph(size: int = 32, name: str = "residual"):
+    """A two-block residual graph (identity + projection skips)."""
+    b = GraphBuilder(name, TensorSpec(1, 4, (size, size)))
+    b.conv_bn_relu(8, 3, prefix="stem")
+    identity = b.current
+    b.conv(8, 3, padding=1, bias=False, name="b1/conv1")
+    b.batchnorm(name="b1/bn1")
+    b.relu(name="b1/relu1")
+    x = b.conv(8, 3, padding=1, bias=False, name="b1/conv2")
+    x = b.batchnorm(name="b1/bn2")
+    x = b.add(x, identity, name="b1/add")
+    b.relu(src=x, name="b1/out")
+    identity2 = b.current
+    x = b.conv(16, 3, stride=2, padding=1, bias=False, name="b2/conv1")
+    x = b.batchnorm(name="b2/bn1")
+    x = b.relu(name="b2/relu1")
+    x = b.conv(16, 3, padding=1, bias=False, name="b2/conv2")
+    x = b.batchnorm(name="b2/bn2")
+    skip = b.conv(16, 1, stride=2, bias=False, src=identity2, name="b2/proj")
+    x = b.add(x, skip, name="b2/add")
+    b.relu(src=x, name="b2/out")
+    b.classifier(10)
+    return b.graph
+
+
+def input_for(graph, seed: int = 0) -> np.ndarray:
+    spec = graph.input_nodes[0].spec
+    return np.random.default_rng(seed).standard_normal(spec.shape).astype(np.float32)
