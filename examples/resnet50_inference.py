@@ -2,11 +2,13 @@
 """ResNet-50 inference under all four execution systems (a one-model slice
 of the paper's Fig. 7).
 
-    python examples/resnet50_inference.py [image_size]
+    python examples/resnet50_inference.py [image_size] [--trace OUT.json]
 
 The default 160x160 keeps the simulation quick; pass 224 for paper scale.
 Runs in profile mode (access streams + cost model, no NumPy arithmetic), so
-full-channel ResNet-50 is cheap to explore.
+full-channel ResNet-50 is cheap to explore.  ``--trace`` writes the BrickDL
+run's task timeline as Chrome-trace JSON (open in Perfetto or
+chrome://tracing).
 """
 
 import sys
@@ -18,10 +20,17 @@ from repro.models import build
 
 
 def main() -> None:
-    image_size = int(sys.argv[1]) if len(sys.argv) > 1 else 160
+    argv = list(sys.argv[1:])
+    trace = None
+    if "--trace" in argv:
+        i = argv.index("--trace")
+        trace = argv[i + 1]
+        del argv[i:i + 2]
+    image_size = int(argv[0]) if argv else 160
 
     rows = [run_conventional(CudnnBaseline, build("resnet50", image_size=image_size))]
-    brick_row, plan = run_brickdl(build("resnet50", image_size=image_size), label="brickdl")
+    brick_row, plan = run_brickdl(build("resnet50", image_size=image_size), label="brickdl",
+                                  trace=trace)
     rows.append(brick_row)
     rows.append(run_conventional(TorchScriptBaseline, build("resnet50", image_size=image_size)))
     rows.append(run_conventional(XlaBaseline, build("resnet50", image_size=image_size)))
@@ -37,6 +46,8 @@ def main() -> None:
     base, brick = rows[0], rows[1]
     print(f"\nBrickDL vs cuDNN: {(1 - brick.total / base.total) * +100:+.1f}% execution time, "
           f"{(1 - brick.dram_txns / base.dram_txns) * 100:+.1f}% DRAM transactions")
+    if trace:
+        print(f"wrote BrickDL task timeline to {trace}")
 
 
 if __name__ == "__main__":

@@ -115,7 +115,8 @@ def run_group_tiled(
     count = 0
     for region in tiles:
         for n in range(batch):
-            task = Task(label=f"{label}/{out_node.name}/{tuple(iv.lo for iv in region)}")
+            task = Task(label=f"{label}/{out_node.name}/{tuple(iv.lo for iv in region)}",
+                        node_id=out_node.node_id)
             # Primary inputs: halo-enlarged regions.
             for input_index, pred in enumerate(primary.inputs):
                 maps = primary.op.rf_maps(primary_specs, input_index)
@@ -148,7 +149,7 @@ def run_group_global(
 ) -> int:
     """One whole-tensor task for a global (un-tiled) group."""
     out_node = group.output
-    task = Task(label=f"{label}/{out_node.name}")
+    task = Task(label=f"{label}/{out_node.name}", node_id=out_node.node_id)
     group_ids = {n.node_id for n in group.nodes}
     for node in group.nodes:
         for pred in node.inputs:

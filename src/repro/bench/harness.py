@@ -74,8 +74,13 @@ def run_brickdl(
     brick: int | None = None,
     layer_schedule: tuple[int, ...] | None = None,
     label: str | None = None,
+    trace: "str | os.PathLike | None" = None,
 ) -> tuple[BreakdownRow, ExecutionPlan]:
-    """Profile one BrickDL configuration; returns (row, plan)."""
+    """Profile one BrickDL configuration; returns (row, plan).
+
+    ``trace`` optionally names a file to receive the run's task timeline as
+    Chrome-trace/Perfetto JSON (see :mod:`repro.profiling`).
+    """
     engine = BrickDLEngine(
         graph,
         spec=spec,
@@ -87,6 +92,11 @@ def run_brickdl(
     plan = engine.compile()
     device = Device(adapt_sectors(spec, plan))
     result = engine.run(inputs=None, functional=False, device=device, plan=plan)
+    if trace is not None and result.trace is not None:
+        from repro.bench.export import write_trace
+
+        write_trace(result.trace, trace,
+                    names={n.node_id: n.name for n in graph.nodes})
     name = label or (f"brickdl/{strategy.value}" if strategy else "brickdl")
     return BreakdownRow.from_metrics(name, result.metrics), plan
 

@@ -5,6 +5,7 @@ Usage::
     python -m repro.cli models
     python -m repro.cli plan resnet50 --image-size 224
     python -m repro.cli run darknet53 --strategy memoized --compare
+    python -m repro.cli profile resnet50 --trace run.json --csv run.csv
     python -m repro.cli tune vgg16 --image-size 96
     python -m repro.cli fig 10            # run an evaluation figure driver
     python -m repro.cli microbench
@@ -82,6 +83,36 @@ def cmd_run(args) -> int:
     return 0
 
 
+def cmd_profile(args) -> int:
+    from repro.bench.harness import adapt_sectors
+    from repro.core.engine import BrickDLEngine
+    from repro.gpusim.device import Device
+    from repro.gpusim.report import profile_report
+    from repro.profiling import TraceCollector, write_chrome_trace, write_summary_csv
+
+    graph = _build_model(args)
+    engine = BrickDLEngine(graph, strategy_override=_strategy(args), brick_override=args.brick)
+    plan = engine.compile()
+    device = Device(adapt_sectors(A100, plan))
+    trace = device.attach(TraceCollector())
+    result = engine.run(inputs=None, functional=False, device=device, plan=plan)
+    print(profile_report(result.metrics, A100, title=f"{args.model} / brickdl"))
+    print()
+    print(result.attribution_table())
+    if args.per_node:
+        print()
+        print(result.node_attribution_table())
+    names = {n.node_id: n.name for n in graph.nodes}
+    if args.trace:
+        path = write_chrome_trace(trace, args.trace, names=names)
+        print(f"\nwrote Chrome trace ({len(trace.records)} tasks, "
+              f"{trace.num_workers} lanes) to {path}")
+    if args.csv:
+        path = write_summary_csv(trace, args.csv, names=names)
+        print(f"wrote per-node summary to {path}")
+    return 0
+
+
 def cmd_tune(args) -> int:
     from repro.core.tuner import tune_plan
 
@@ -138,6 +169,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     for name, fn, help_ in (("plan", cmd_plan, "show the compiled execution plan"),
                             ("run", cmd_run, "profile a model on the simulated A100"),
+                            ("profile", cmd_profile,
+                             "run with the trace collector; export timeline + attribution"),
                             ("tune", cmd_tune, "empirically tune strategies/bricks per subgraph")):
         sp = sub.add_parser(name, help=help_)
         sp.add_argument("model")
@@ -149,6 +182,13 @@ def build_parser() -> argparse.ArgumentParser:
             sp.add_argument("--compare", action="store_true", help="also run the cuDNN baseline")
             sp.add_argument("--per-subgraph", action="store_true",
                             help="attribute counters to each plan subgraph")
+        if name == "profile":
+            sp.add_argument("--trace", default=None, metavar="OUT.json",
+                            help="write a Chrome-trace/Perfetto JSON timeline")
+            sp.add_argument("--csv", default=None, metavar="OUT.csv",
+                            help="write the per-node attribution summary as CSV")
+            sp.add_argument("--per-node", action="store_true",
+                            help="print the per-node attribution table")
         sp.set_defaults(fn=fn)
 
     fig = sub.add_parser("fig", help="run an evaluation-figure driver (7-11)")

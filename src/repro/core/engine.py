@@ -20,7 +20,7 @@ or in *profile* mode (access streams and timing only).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Mapping
 
 import numpy as np
@@ -58,13 +58,16 @@ class EngineResult:
     ``per_subgraph`` attributes counter growth to each plan entry (the
     automatic analogue of the paper's ResNet-50 case study): a list aligned
     with ``plan.subgraphs`` of dicts with ``dram_txns``, ``flops``,
-    ``atomics_*``, ``num_tasks``, ``dram_time_s`` etc.
+    ``atomics_*``, ``num_tasks``, ``dram_time_s`` etc., rolled up from the
+    run's :class:`~repro.profiling.TraceCollector` (``trace``), which also
+    holds the full per-task timeline for export.
     """
 
     outputs: dict[str, np.ndarray] | None
     metrics: RunMetrics
     plan: ExecutionPlan
-    per_subgraph: list[dict] = None
+    per_subgraph: list[dict] = field(default_factory=list)
+    trace: "TraceCollector | None" = None
 
     @property
     def total_time(self) -> float:
@@ -75,7 +78,7 @@ class EngineResult:
         from repro.bench.reporting import format_table
 
         rows = []
-        for sub, d in zip(self.plan.subgraphs, self.per_subgraph or []):
+        for sub, d in zip(self.plan.subgraphs, self.per_subgraph):
             rows.append([
                 sub.index, sub.strategy.value, len(sub.subgraph),
                 d["num_tasks"], f"{d['flops'] / 1e9:.3f}",
@@ -86,6 +89,31 @@ class EngineResult:
             ["subgraph", "strategy", "ops", "tasks", "GFLOP", "DRAM txns",
              "DRAM ms", "atomics"], rows,
             title=f"per-subgraph attribution: {self.plan.graph.name}")
+
+    def node_attribution_table(self) -> str:
+        """A readable per-node cost table from the collected trace."""
+        from repro.bench.reporting import format_table
+
+        if self.trace is None:
+            return "(no trace collected)"
+        names = {n.node_id: n.name for n in self.plan.graph.nodes}
+        table = self.trace.per_node()
+        rows = []
+        order = sorted((k for k in table if k is not None))
+        for nid in order + ([None] if None in table else []):
+            d = table[nid]
+            rows.append([
+                "-" if nid is None else nid,
+                names.get(nid, d["label"]),
+                "/".join(sorted(d["strategies"])) or "-",
+                d["num_tasks"], f"{d['flops'] / 1e9:.3f}",
+                d["dram_txns"], f"{d['dram_time_s'] * 1e3:.3f}",
+                d["atomics_compulsory"] + d["atomics_conflict"],
+            ])
+        return format_table(
+            ["node", "name", "strategy", "tasks", "GFLOP", "DRAM txns",
+             "DRAM ms", "atomics"], rows,
+            title=f"per-node attribution: {self.plan.graph.name}")
 
 
 def _max_kernel_extent(graph: Graph, node_ids) -> int:
@@ -186,9 +214,14 @@ class BrickDLEngine:
         device: Device | None = None,
         plan: ExecutionPlan | None = None,
     ) -> EngineResult:
+        from repro.profiling import TraceCollector
+
         graph = self.graph
         plan = plan if plan is not None else self.compile()
         device = device if device is not None else Device(self.spec)
+        collector = next((o for o in device.observers if isinstance(o, TraceCollector)), None)
+        if collector is None:
+            collector = device.attach(TraceCollector())
         if functional:
             graph.init_weights()
 
@@ -203,23 +236,21 @@ class BrickDLEngine:
         for n in graph.output_nodes:
             remaining[n.node_id] += 1
 
-        per_subgraph: list[dict] = []
         for sub in plan.subgraphs:
-            snap = device.snapshot()
-            for nid in sub.subgraph.node_ids:
-                wb = weight_buffers.get(nid)
-                if wb is not None:
-                    device.memory.pin(wb)
-            if sub.strategy is Strategy.CUDNN:
-                self._run_fallback(device, sub, boundary, weight_buffers, functional)
-            else:
-                self._run_merged(device, sub, boundary, weight_buffers, functional)
-            for nid in sub.subgraph.node_ids:
-                wb = weight_buffers.get(nid)
-                if wb is not None:
-                    device.memory.unpin(wb)
-            self._retire(device, sub, boundary, remaining)
-            per_subgraph.append(device.delta_since(snap))
+            with device.scope(subgraph_index=sub.index, strategy=sub.strategy.value):
+                for nid in sub.subgraph.node_ids:
+                    wb = weight_buffers.get(nid)
+                    if wb is not None:
+                        device.memory.pin(wb)
+                if sub.strategy is Strategy.CUDNN:
+                    self._run_fallback(device, sub, boundary, weight_buffers, functional)
+                else:
+                    self._run_merged(device, sub, boundary, weight_buffers, functional)
+                for nid in sub.subgraph.node_ids:
+                    wb = weight_buffers.get(nid)
+                    if wb is not None:
+                        device.memory.unpin(wb)
+                self._retire(device, sub, boundary, remaining)
 
         # Graph outputs are materialized densely (and charged) in both modes.
         for node in graph.output_nodes:
@@ -227,8 +258,10 @@ class BrickDLEngine:
         outputs = None
         if functional:
             outputs = {n.name: boundary[n.node_id].require_data() for n in graph.output_nodes}
-        return EngineResult(outputs=outputs, metrics=device.finish(), plan=plan,
-                            per_subgraph=per_subgraph)
+        metrics = device.finish()
+        return EngineResult(outputs=outputs, metrics=metrics, plan=plan,
+                            per_subgraph=collector.per_subgraph(len(plan.subgraphs)),
+                            trace=collector)
 
     # -- merged subgraphs ---------------------------------------------------
     def _run_merged(self, device, sub: SubgraphPlan, boundary, weight_buffers, functional) -> None:
@@ -363,7 +396,7 @@ class BrickDLEngine:
         # Brick creation cost (the paper notes it is minimal): one sweep of
         # the source plus per-brick writes so the brick-class residency model
         # sees the new layout.
-        task = Task(label=f"to-bricks/{node.name}")
+        task = Task(label=f"to-bricks/{node.name}", node_id=nid)
         task.read(handle.buffer, 0, handle.buffer.nbytes, dense=True)
         for n in range(node.spec.batch):
             for gpos in new.bricks():
@@ -384,7 +417,7 @@ class BrickDLEngine:
         # intermediate dense copies die with their consumers.
         is_output = nid in {n.node_id for n in self.graph.output_nodes}
         buf = device.allocate(f"{node.name}/dense", node.spec.nbytes, transient=not is_output)
-        task = Task(label=f"from-bricks/{node.name}")
+        task = Task(label=f"from-bricks/{node.name}", node_id=nid)
         for n in range(node.spec.batch):
             for gpos in handle.bricks():
                 handle.emit_brick_read(task, n, gpos)

@@ -36,9 +36,15 @@ from repro.gpusim.device import Device
 from repro.gpusim.trace import Buffer, Task
 from repro.kernels import apply_node_local, pad_value_for
 
-__all__ = ["MemoizedBrickExecutor"]
+__all__ = ["MemoizedBrickExecutor", "HALO_NEIGHBORHOOD_BRICKS"]
 
 _NOT_STARTED, _IN_PROGRESS, _COMPLETE = 0, 1, 2
+
+# A brick's concurrent dependency set: itself plus its halo neighbors -- the
+# ~27 bricks of a 3x3x3 spatial neighborhood (fewer in 2-D, but 27 is the
+# paper's 3-D working regime and a safe upper bound).  The coalescing window
+# spans one such neighborhood per concurrently resident worker.
+HALO_NEIGHBORHOOD_BRICKS = 27
 
 
 @dataclass
@@ -101,16 +107,16 @@ class MemoizedBrickExecutor:
         # would charge them as capacity misses, so the executor tracks brick
         # recency itself, with an effective capacity of ``coalesce_factor``
         # concurrent L2 windows (see DESIGN.md, "consumer coalescing").
-        # Window size: a few waves of the fleet's concurrent dependency sets
-        # (workers x ~27-brick halo neighborhoods), floored by a multiple of
-        # the L2's own brick capacity.
+        # Window size: the fleet's concurrent dependency sets (one ~27-brick
+        # halo neighborhood per worker), floored by a multiple of the L2's
+        # own brick capacity.
         max_brick_bytes = max(h.brick_nbytes for h in self.memo.values())
         l2_bricks = device.spec.l2_bytes // max(1, max_brick_bytes)
         # Deeper merged regions interleave more layers' bricks through the
         # same concurrent window, diluting per-layer residency: the window
         # shrinks with the square root of the merge depth.
         depth = max(1, subgraph.depth)
-        wave = int(108 * device.spec.num_sms * min(1.0, 3.0 / depth))
+        wave = int(HALO_NEIGHBORHOOD_BRICKS * device.spec.num_sms * min(1.0, 3.0 / depth))
         self._recent_capacity = max(8 * l2_bricks, wave, 64)
         self._recent: "OrderedDict[tuple[int, int], None]" = OrderedDict()
         self._round = 0
@@ -128,7 +134,8 @@ class MemoizedBrickExecutor:
         for i, g in enumerate(goals):
             chunks[min(i // per, num_workers - 1)].append(g)
 
-        workers = [_WorkerState(queue=list(reversed(chunk))) for chunk in chunks]
+        workers = [_WorkerState(index=i, queue=list(reversed(chunk)))
+                   for i, chunk in enumerate(chunks)]
         self._workers = workers
         active = [w for w in workers if w.queue]
 
@@ -246,14 +253,19 @@ class MemoizedBrickExecutor:
         region = handle.grid.brick_region(frame.gpos, clipped=True)
         input_specs = [self.graph.node(i).spec for i in node.inputs]
 
-        task = Task(label=f"memo/{node.name}/{frame.gpos}")
+        task = Task(label=f"memo/{node.name}/{frame.gpos}", node_id=frame.nid,
+                    strategy="memoized", worker=w.index)
         needs: list[Region] = []
-        offsets: tuple[int, ...] = (0,) * len(region)
+        # One offset tuple per input: inputs may have differing halos, so each
+        # patch is aligned by its own receptive-field offsets.
+        offsets: list[tuple[int, ...]] = []
         for input_index, pred in enumerate(node.inputs):
             maps = node.op.rf_maps(input_specs, input_index)
             need = Region(m.in_interval(iv) for m, iv in zip(maps, region))
             needs.append(need)
-            offsets = tuple(m.local_out_offset(iv.lo, niv.lo) for m, iv, niv in zip(maps, region, need))
+            offsets.append(tuple(
+                m.local_out_offset(iv.lo, niv.lo) for m, iv, niv in zip(maps, region, need)
+            ))
             source = self.memo.get(pred) or self.entries.get(pred)
             if source is None:
                 raise ExecutionError(f"no source handle for predecessor {pred}")
@@ -368,6 +380,7 @@ class MemoizedBrickExecutor:
 
 @dataclass
 class _WorkerState:
+    index: int
     queue: list[tuple[int, tuple[int, ...], int]]
     stack: list[_Frame] = field(default_factory=list)
     busy: int = 0

@@ -84,7 +84,7 @@ class PaddedBrickExecutor:
             for grid_pos in handle.bricks():
                 for n in range(batch):
                     worker = task_index % self.device.spec.num_sms
-                    self._run_brick(exit_id, handle, grid_pos, n, scratch[worker])
+                    self._run_brick(exit_id, handle, grid_pos, n, scratch[worker], worker)
                     task_index += 1
         # One reduction/synchronization closes the subgraph (Fig. 3(b)).
         self.device.synchronize()
@@ -129,13 +129,15 @@ class PaddedBrickExecutor:
         grid_pos: tuple[int, ...],
         batch: int,
         scratch: tuple[Buffer, dict[int, int]],
+        worker: int | None = None,
     ) -> None:
         graph = self.subgraph.graph
         members = set(self.subgraph.node_ids)
         out_region = exit_handle.grid.brick_region(grid_pos, clipped=True)
         required = required_regions(self.subgraph, exit_id, out_region)
 
-        task = Task(label=f"padded/{graph.node(exit_id).name}/{grid_pos}")
+        task = Task(label=f"padded/{graph.node(exit_id).name}/{grid_pos}",
+                    node_id=exit_id, strategy="padded", worker=worker)
         scratch_buf, slots = scratch
         values: dict[int, np.ndarray] = {}
         covered: dict[int, Region] = {}
@@ -161,7 +163,7 @@ class PaddedBrickExecutor:
                 continue
             input_specs = [graph.node(i).spec for i in node.inputs]
             needs: list[Region] = []
-            offsets_nd: list[int] = []
+            offsets_nd: list[tuple[int, ...]] = []
             for input_index, pred in enumerate(node.inputs):
                 maps = node.op.rf_maps(input_specs, input_index)
                 need = Region(m.in_interval(iv) for m, iv in zip(maps, region))
@@ -200,10 +202,8 @@ class PaddedBrickExecutor:
                     patches.append(_extract(values[pred], pred_covered, need, fill))
                 values[nid] = apply_node_local(
                     node.op, patches, node.weights, region.shape,
-                    offsets_nd[0] if offsets_nd else (0,) * len(region),
+                    offsets_nd if offsets_nd else (0,) * len(region),
                 )
-                # apply_node_local computes from exact patches; offsets are
-                # uniform across inputs for the ops we support.
             covered[nid] = region
 
         task.calls = max(calls, 1)

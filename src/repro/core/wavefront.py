@@ -143,14 +143,17 @@ class WavefrontBrickExecutor:
             return
         input_specs = [graph.node(i).spec for i in node.inputs]
 
-        task = Task(label=f"wave/{node.name}/{gpos}")
+        task = Task(label=f"wave/{node.name}/{gpos}", node_id=nid, strategy="wavefront")
         needs: list[Region] = []
-        offsets: tuple[int, ...] = (0,) * len(region)
+        # Per-input offsets: inputs may carry differing halos (skip adds).
+        offsets: list[tuple[int, ...]] = []
         for input_index, pred in enumerate(node.inputs):
             maps = node.op.rf_maps(input_specs, input_index)
             need = Region(m.in_interval(iv) for m, iv in zip(maps, region))
             needs.append(need)
-            offsets = tuple(m.local_out_offset(iv.lo, niv.lo) for m, iv, niv in zip(maps, region, need))
+            offsets.append(tuple(
+                m.local_out_offset(iv.lo, niv.lo) for m, iv, niv in zip(maps, region, need)
+            ))
             source = self.memo.get(pred) or self.entries.get(pred)
             if source is None:
                 raise ExecutionError(f"no source handle for predecessor {pred}")

@@ -236,12 +236,12 @@ class DistributedRunner:
             if functional:
                 fill = pad_value_for(node.op)
                 patches = []
-                offsets = (0,) * len(region)
+                offsets: list[tuple[int, ...]] = []
                 for input_index, pred in enumerate(node.inputs):
                     maps = node.op.rf_maps(input_specs, input_index)
                     need = Region(m.in_interval(iv) for m, iv in zip(maps, region))
-                    offsets = tuple(m.local_out_offset(iv.lo, niv.lo)
-                                    for m, iv, niv in zip(maps, region, need))
+                    offsets.append(tuple(m.local_out_offset(iv.lo, niv.lo)
+                                         for m, iv, niv in zip(maps, region, need)))
                     patches.append(_extract(values[pred], covered[pred], need, fill,
                                             graph.node(pred).spec))
                 values[nid] = apply_node_local(node.op, patches, node.weights,

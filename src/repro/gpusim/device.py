@@ -6,11 +6,22 @@ objects (each task's accesses are pushed through the memory hierarchy as it
 is submitted, so L2 state evolves in issue order -- the property merged
 execution exploits), and finally call :meth:`finish` to obtain the
 :class:`RunMetrics` with counters and the paper-style time breakdown.
+
+Observability: the device maintains per-worker lane clocks and stamps every
+submitted task with an issue-order ``(start_s, end_s)`` from the
+``spec.task_time`` model, so each run yields a timeline.  Attached observers
+(see :mod:`repro.profiling`) are notified of allocations, task submissions
+(with the task's own counter delta), synchronizations, attribution scopes,
+and run completion.  The timeline is an *issue-order* view for tracing; the
+authoritative end-to-end time remains the :class:`TimeBreakdown` makespan
+model, which additionally accounts for memory/compute overlap.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
+from typing import Iterable, Iterator
 
 from repro.gpusim.atomics import AtomicCounters
 from repro.gpusim.memory import MemoryCounters, MemorySystem
@@ -43,35 +54,112 @@ class RunMetrics:
 class Device:
     """A simulated GPU for the duration of one execution run."""
 
-    def __init__(self, spec: GPUSpec = A100) -> None:
+    def __init__(self, spec: GPUSpec = A100, observers: Iterable = ()) -> None:
         self.spec = spec
         self.memory = MemorySystem(spec)
         self.atomics = AtomicCounters()
+        self.observers: list = list(observers)
         self._tasks: list[Task] = []
         self._sync_count = 0
         self._extra_overhead = 0.0
         self._finished = False
+        self._lanes: list[float] = [0.0] * max(1, spec.num_sms)
+        self._scope: tuple[int | None, str | None] = (None, None)
+
+    # -- observers -----------------------------------------------------------
+    def attach(self, observer):
+        """Attach an execution observer (e.g. a ``TraceCollector``)."""
+        self.observers.append(observer)
+        return observer
+
+    @contextmanager
+    def scope(self, subgraph_index: int | None = None,
+              strategy: str | None = None) -> Iterator[None]:
+        """Attribution scope: tasks submitted inside are stamped with the
+        plan entry and strategy (unless the executor set them already), and
+        observers can attribute out-of-task counter growth to the scope."""
+        prev = self._scope
+        self._scope = (subgraph_index, strategy)
+        for obs in self.observers:
+            obs.on_scope_begin(self, subgraph_index, strategy)
+        try:
+            yield
+        finally:
+            for obs in self.observers:
+                obs.on_scope_end(self, subgraph_index, strategy)
+            self._scope = prev
+
+    @property
+    def now_s(self) -> float:
+        """Issue-order wall clock: the furthest lane's time."""
+        return max(self._lanes)
+
+    def counter_state(self) -> dict[str, float]:
+        """Cumulative counters, for observers' attribution bookkeeping."""
+        c = self.memory.counters
+        return {
+            "l1_txns": c.l1_txns,
+            "l2_txns": c.l2_txns,
+            "dram_txns": c.dram_read_txns + c.dram_write_txns,
+            "atomics_compulsory": self.atomics.compulsory,
+            "atomics_conflict": self.atomics.conflict,
+            "overhead_s": self._extra_overhead,
+        }
 
     # -- buffers -------------------------------------------------------------
     def allocate(self, name: str, nbytes: int, transient: bool = False) -> Buffer:
-        return self.memory.allocate(name, nbytes, transient)
+        buffer = self.memory.allocate(name, nbytes, transient)
+        for obs in self.observers:
+            obs.on_alloc(self, buffer)
+        return buffer
 
     def discard(self, buffer: Buffer) -> None:
         self.memory.discard(buffer)
+        for obs in self.observers:
+            obs.on_discard(self, buffer)
 
     # -- execution -----------------------------------------------------------
     def submit(self, task: Task) -> None:
         """Run one fine-grained kernel invocation through the hierarchy."""
+        before = self.counter_state() if self.observers else None
         self.memory.begin_task()
         for access in task.accesses:
             self.memory.process(access)
         self.atomics.compulsory += task.atomics_compulsory
         self.atomics.conflict += task.atomics_conflict
+
+        # Timeline: place the task on its worker's lane (executor-chosen) or
+        # the earliest-available lane, issue-order, using the task_time model.
+        duration = self.spec.task_time(task.flops, task.calls)
+        if task.worker is None:
+            lane = min(range(len(self._lanes)), key=self._lanes.__getitem__)
+        else:
+            lane = task.worker % len(self._lanes)
+        task.worker = lane
+        task.start_s = self._lanes[lane]
+        task.end_s = task.start_s + duration
+        self._lanes[lane] = task.end_s
+        if task.subgraph_index is None:
+            task.subgraph_index = self._scope[0]
+        if task.strategy is None:
+            task.strategy = self._scope[1]
+
         self._tasks.append(task)
+        if before is not None:
+            now = self.counter_state()
+            delta = {k: now[k] - before[k] for k in
+                     ("l1_txns", "l2_txns", "dram_txns",
+                      "atomics_compulsory", "atomics_conflict")}
+            for obs in self.observers:
+                obs.on_task_submit(self, task, delta)
 
     def synchronize(self) -> None:
         """Record one device-wide synchronization barrier."""
         self._sync_count += 1
+        barrier = self.now_s + self.spec.sync_time_s
+        self._lanes = [barrier] * len(self._lanes)
+        for obs in self.observers:
+            obs.on_sync(self, barrier)
 
     def add_overhead(self, seconds: float) -> None:
         self._extra_overhead += seconds
@@ -109,7 +197,8 @@ class Device:
 
     def finish(self) -> RunMetrics:
         """Flush persistent dirty data and compute the final breakdown."""
-        if not self._finished:
+        first = not self._finished
+        if first:
             self.memory.flush()
             self._finished = True
         breakdown = compute_breakdown(
@@ -120,10 +209,14 @@ class Device:
             sync_count=self._sync_count,
             extra_overhead_s=self._extra_overhead,
         )
-        return RunMetrics(
+        metrics = RunMetrics(
             memory=self.memory.counters,
             atomics=self.atomics,
             time=breakdown,
             num_tasks=len(self._tasks),
             total_flops=float(sum(t.flops for t in self._tasks)),
         )
+        if first:
+            for obs in self.observers:
+                obs.on_finish(self, metrics)
+        return metrics

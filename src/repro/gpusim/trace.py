@@ -115,6 +115,16 @@ class Task:
     release), conflicts when a dependent brick is found in-progress.
     ``visits`` counts memo-table lookups (recursion overhead, lands in the
     "Other" time).
+
+    Structured identity (no label parsing needed downstream):
+
+    * ``node_id`` -- the graph node this task computes (or converts);
+    * ``subgraph_index`` / ``strategy`` -- the plan entry and execution
+      strategy, stamped by the submitting scope (see ``Device.scope``);
+    * ``worker`` -- the virtual worker / SM lane the task ran on (assigned
+      by the device at submit time if the executor did not choose one);
+    * ``start_s`` / ``end_s`` -- issue-order timeline position, assigned by
+      the device from the ``spec.task_time`` model.
     """
 
     label: str
@@ -124,6 +134,18 @@ class Task:
     atomics_conflict: int = 0
     visits: int = 0
     calls: int = 1  # fine-grained kernel invocations inside this task
+    node_id: int | None = None
+    subgraph_index: int | None = None
+    strategy: str | None = None
+    worker: int | None = None
+    start_s: float | None = None
+    end_s: float | None = None
+
+    @property
+    def duration_s(self) -> float:
+        if self.start_s is None or self.end_s is None:
+            return 0.0
+        return self.end_s - self.start_s
 
     def read(self, buffer: Buffer, offset: int, nbytes: int, reps: tuple[tuple[int, int], ...] = (),
              dense: bool = False, on_chip: bool = False, assume_l2: bool = False) -> None:

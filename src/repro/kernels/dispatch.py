@@ -104,12 +104,40 @@ def apply_node_full(op: OpSpec, inputs: Sequence[np.ndarray], weights: dict[str,
     raise UnsupportedOpError(f"no full kernel for op {op!r}")
 
 
+def _per_input_offsets(
+    offsets: Sequence, num_inputs: int, ndim: int
+) -> list[tuple[int, ...]]:
+    """Normalize ``offsets`` to one per-dim tuple per input.
+
+    Accepts either a single per-dim tuple (applied to every input -- the
+    historical calling convention) or a sequence of per-input tuples.
+    """
+    offsets = tuple(offsets)
+    if offsets and isinstance(offsets[0], (tuple, list)):
+        per_input = [tuple(int(v) for v in o) for o in offsets]
+        if len(per_input) != num_inputs:
+            raise UnsupportedOpError(
+                f"got offsets for {len(per_input)} inputs, op has {num_inputs}"
+            )
+        return per_input
+    one = tuple(int(v) for v in offsets) if offsets else (0,) * ndim
+    return [one] * num_inputs
+
+
+def _align(patch: np.ndarray, offsets: tuple[int, ...], out_spatial: tuple[int, ...]) -> np.ndarray:
+    """Crop an elementwise input patch to its aligned output window."""
+    if patch.shape[1:] == tuple(out_spatial) and not any(offsets):
+        return patch
+    crop = (slice(None),) + tuple(slice(o, o + e) for o, e in zip(offsets, out_spatial))
+    return np.ascontiguousarray(patch[crop])
+
+
 def apply_node_local(
     op: OpSpec,
     patches: Sequence[np.ndarray],
     weights: dict[str, np.ndarray],
     out_spatial: tuple[int, ...],
-    offsets: tuple[int, ...],
+    offsets: Sequence,
 ) -> np.ndarray:
     """Execute ``op`` on gathered patches for one output region.
 
@@ -123,11 +151,31 @@ def apply_node_local(
     out_spatial:
         Spatial shape of the requested output region.
     offsets:
-        Per-dim offsets (from ``RFMap.local_out_offset``) at which the
-        requested region starts inside the kernel's local output.  Zero for
-        all stencil ops; positive for transposed convolutions.
+        Offsets (from ``RFMap.local_out_offset``) at which the requested
+        region starts inside the kernel's local output: either one per-dim
+        tuple applied to every input, or a sequence with one per-dim tuple
+        *per input* (required when inputs have differing receptive-field
+        offsets, e.g. a two-input op whose inputs carry different halos).
+        Zero for all stencil ops; positive for transposed convolutions.
     """
+    ndim = len(out_spatial)
+    per_input = _per_input_offsets(offsets, len(patches), ndim)
     patches = [p[None] for p in patches]  # kernels expect a batch axis
+    # Multi-input ops combine elementwise: each patch is positioned by its
+    # *own* receptive-field map, so align every input to the requested output
+    # window before combining (inputs may carry different halos).
+    if isinstance(op, (Add, Mul, Concat)):
+        aligned = [
+            _align(p[0], off, out_spatial)[None]
+            for p, off in zip(patches, per_input)
+        ]
+        if isinstance(op, Add):
+            return elementwise_add(aligned[0], aligned[1])[0]
+        if isinstance(op, Mul):
+            return elementwise_mul(aligned[0], aligned[1])[0]
+        return np.ascontiguousarray(np.concatenate(list(aligned), axis=1))[0]
+
+    offsets = per_input[0]
     if isinstance(op, Conv):
         local = conv_forward(
             patches[0], weights["weight"], weights.get("bias"),
@@ -143,12 +191,6 @@ def apply_node_local(
         local = batchnorm_inference(patches[0], weights["scale"], weights["shift"])
     elif isinstance(op, Bias):
         local = add_bias(patches[0], weights["bias"])
-    elif isinstance(op, Add):
-        local = elementwise_add(patches[0], patches[1])
-    elif isinstance(op, Mul):
-        local = elementwise_mul(patches[0], patches[1])
-    elif isinstance(op, Concat):
-        local = np.ascontiguousarray(np.concatenate(list(patches), axis=1))
     elif isinstance(op, Softmax):
         local = channel_softmax(patches[0])
     else:

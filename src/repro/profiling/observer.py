@@ -1,0 +1,59 @@
+"""The device observer protocol: hook points the simulated GPU announces.
+
+A :class:`~repro.gpusim.device.Device` calls these hooks as execution
+proceeds, mirroring what a CUPTI/Nsight callback subscriber sees on real
+hardware.  Observers are duck-typed -- the device never imports this module
+-- but subclassing :class:`DeviceObserver` documents the contract and
+provides no-op defaults so observers implement only what they need.
+
+Hook order for one run::
+
+    on_alloc* / on_scope_begin / on_task_submit* / on_sync* /
+    on_scope_end / ... / on_discard* / on_finish
+
+``on_task_submit`` receives the *counter delta* the task produced while its
+accesses were pushed through the memory hierarchy (keys ``l1_txns``,
+``l2_txns``, ``dram_txns``, ``atomics_compulsory``, ``atomics_conflict``),
+so per-task attribution needs no label parsing or snapshot bookkeeping.
+Counter growth that happens *outside* any task (e.g. the memoized
+scheduler's bulk conflict-CAS accounting) is picked up by observers at
+scope boundaries and at :meth:`on_finish` (the flush write-back).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (types only)
+    from repro.gpusim.device import Device, RunMetrics
+    from repro.gpusim.trace import Buffer, Task
+
+__all__ = ["DeviceObserver"]
+
+
+class DeviceObserver:
+    """No-op base class for device execution observers."""
+
+    def on_alloc(self, device: "Device", buffer: "Buffer") -> None:
+        """A buffer was allocated."""
+
+    def on_discard(self, device: "Device", buffer: "Buffer") -> None:
+        """A buffer was discarded (dropped without DRAM write-back)."""
+
+    def on_scope_begin(self, device: "Device", subgraph_index: int | None,
+                       strategy: str | None) -> None:
+        """An attribution scope (one plan subgraph) was entered."""
+
+    def on_scope_end(self, device: "Device", subgraph_index: int | None,
+                     strategy: str | None) -> None:
+        """The current attribution scope was exited."""
+
+    def on_task_submit(self, device: "Device", task: "Task",
+                       delta: Mapping[str, int]) -> None:
+        """A task ran through the memory hierarchy and joined the timeline."""
+
+    def on_sync(self, device: "Device", time_s: float) -> None:
+        """A device-wide synchronization barrier was recorded."""
+
+    def on_finish(self, device: "Device", metrics: "RunMetrics") -> None:
+        """The run completed: dirty data flushed, final metrics computed."""
