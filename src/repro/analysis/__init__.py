@@ -1,0 +1,38 @@
+"""Static analysis & verification passes over graphs, plans, and traces.
+
+Three passes behind one :class:`Diagnostic`/:class:`AnalysisReport` API:
+
+* :func:`lint_graph` -- structural, shape/dtype, op-contract, and
+  serialization round-trip checks on a :class:`~repro.graph.Graph`;
+* :func:`verify_plan` -- independently re-derives every invariant a
+  compiled :class:`~repro.core.plan.ExecutionPlan` is supposed to satisfy
+  (convexity, L2 budget, halo coverage, strategy-model consistency);
+* the memoization-protocol checkers -- :func:`explore_protocol`
+  exhaustively model-checks the 0->1->2 CAS tag automaton on a small brick
+  grid, and :func:`replay_trace` validates a real run's task trace for
+  exactly-once and happens-before.
+"""
+
+from repro.analysis.diagnostics import AnalysisReport, Diagnostic, Severity
+from repro.analysis.graph_lint import lint_graph
+from repro.analysis.plan_verify import verify_plan
+from repro.analysis.protocol import GridModel, ProtocolModel, explore_protocol
+from repro.analysis.replay import (
+    ReplayTask,
+    replay_tasks_from_chrome_trace,
+    replay_trace,
+)
+
+__all__ = [
+    "AnalysisReport",
+    "Diagnostic",
+    "Severity",
+    "lint_graph",
+    "verify_plan",
+    "GridModel",
+    "ProtocolModel",
+    "explore_protocol",
+    "ReplayTask",
+    "replay_trace",
+    "replay_tasks_from_chrome_trace",
+]

@@ -1,0 +1,120 @@
+"""The common currency of the static-analysis passes: diagnostics.
+
+Every verification pass -- the graph linter, the plan verifier, the
+memoization-protocol checker, and the trace-replay checker -- reports its
+findings as :class:`Diagnostic` records collected into an
+:class:`AnalysisReport`.  A diagnostic carries a stable machine-readable
+``code`` (``"plan.footprint-mismatch"``), a severity, a human message that
+names the offending node/edge/subgraph, and optional structured locators so
+tools (CI, the ``repro lint`` CLI, the strict engine mode) can filter and
+render without parsing messages.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["Severity", "Diagnostic", "AnalysisReport"]
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity, ordered so ``max()`` gives the worst."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:  # "error", not "Severity.ERROR"
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of one analysis pass.
+
+    Attributes
+    ----------
+    pass_name:
+        The reporting pass (``"graph-lint"``, ``"plan-verify"``,
+        ``"protocol"``, ``"trace-replay"``).
+    code:
+        Stable dotted identifier of the check (``"graph.shape-mismatch"``).
+    severity:
+        :class:`Severity`; only ``ERROR`` diagnostics fail strict mode and
+        the ``repro lint`` exit code.
+    message:
+        Human-readable description naming the offending entity.
+    node_id / subgraph_index:
+        Optional structured locators into the graph / plan.
+    detail:
+        Optional free-form payload (e.g. a counterexample interleaving).
+    """
+
+    pass_name: str
+    code: str
+    severity: Severity
+    message: str
+    node_id: int | None = None
+    subgraph_index: int | None = None
+    detail: object = None
+
+    def render(self) -> str:
+        loc = []
+        if self.subgraph_index is not None:
+            loc.append(f"subgraph {self.subgraph_index}")
+        if self.node_id is not None:
+            loc.append(f"node {self.node_id}")
+        where = f" [{', '.join(loc)}]" if loc else ""
+        return f"{self.severity}: {self.code}{where}: {self.message}"
+
+
+@dataclass
+class AnalysisReport:
+    """An ordered collection of diagnostics from one or more passes."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    def add(self, diag: Diagnostic) -> Diagnostic:
+        self.diagnostics.append(diag)
+        return diag
+
+    def extend(self, other: "AnalysisReport") -> "AnalysisReport":
+        self.diagnostics.extend(other.diagnostics)
+        return self
+
+    # -- filters -------------------------------------------------------------
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    def by_code(self, code: str) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.code == code]
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity diagnostics were reported."""
+        return not self.errors
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __iter__(self):
+        return iter(self.diagnostics)
+
+    # -- rendering -----------------------------------------------------------
+    def summary(self, title: str | None = None) -> str:
+        lines = []
+        if title:
+            lines.append(title)
+        for d in self.diagnostics:
+            lines.append("  " + d.render())
+        verdict = "clean" if not self.diagnostics else (
+            f"{len(self.errors)} error(s), {len(self.warnings)} warning(s), "
+            f"{len(self.diagnostics) - len(self.errors) - len(self.warnings)} note(s)")
+        lines.append(("  " if self.diagnostics else "") + f"-> {verdict}")
+        return "\n".join(lines)

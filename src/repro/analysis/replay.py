@@ -1,0 +1,238 @@
+"""Trace-replay verification of the memoized runtime (§3.2.2, Kitsune-style).
+
+The small-model checker (:mod:`repro.analysis.protocol`) proves the tag
+protocol correct in the abstract; this pass checks that a *real* run obeyed
+it.  It consumes the task records of a
+:class:`~repro.profiling.TraceCollector` (or a Chrome-trace JSON exported
+from one) plus the :class:`ExecutionPlan` that produced the run, and
+asserts, for every memoized subgraph:
+
+* **exactly once** -- no (node, brick, batch) was computed twice, and every
+  exit brick of every exit node was computed;
+* **happens-before** -- every member-brick dependency a task read (the same
+  receptive-field derivation the executor uses, recomputed here from the
+  graph) was produced by a task submitted strictly earlier.  Device lane
+  clocks are per-worker, so cross-worker ordering is judged by submission
+  order (``seq``), the order the simulated memory system observed; within
+  one worker lane the timeline itself must also nest (producer end <=
+  consumer start);
+* **valid identity** -- every brick position lies inside the node's grid
+  and every batch index inside the node's batch extent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.analysis.diagnostics import AnalysisReport, Diagnostic, Severity
+from repro.core.plan import ExecutionPlan, SubgraphPlan
+from repro.graph.regions import Region
+
+__all__ = ["ReplayTask", "replay_trace", "replay_tasks_from_chrome_trace"]
+
+_PASS = "trace-replay"
+
+
+@dataclass(frozen=True)
+class ReplayTask:
+    """The slice of a task record the replay checker needs."""
+
+    seq: int
+    node_id: int
+    subgraph_index: int | None
+    brick: tuple[int, ...]
+    batch_index: int
+    worker: int
+    start_s: float
+    end_s: float
+
+
+def _diag(report: AnalysisReport, code: str, message: str,
+          subgraph_index: int | None = None, node_id: int | None = None,
+          severity: Severity = Severity.ERROR) -> None:
+    report.add(Diagnostic(pass_name=_PASS, code=code, severity=severity,
+                          message=message, node_id=node_id,
+                          subgraph_index=subgraph_index))
+
+
+def _as_replay_tasks(records: Iterable) -> list[ReplayTask]:
+    """Adapt ``TaskRecord``-shaped objects (brick-stamped, memoized) to
+    :class:`ReplayTask`."""
+    out = []
+    for r in records:
+        if getattr(r, "strategy", None) != "memoized":
+            continue
+        if getattr(r, "brick", None) is None or r.node_id is None:
+            continue
+        out.append(ReplayTask(
+            seq=r.seq, node_id=r.node_id, subgraph_index=r.subgraph_index,
+            brick=tuple(r.brick),
+            batch_index=r.batch_index if r.batch_index is not None else 0,
+            worker=r.worker, start_s=r.start_s, end_s=r.end_s))
+    return out
+
+
+def replay_tasks_from_chrome_trace(doc: Mapping) -> list[ReplayTask]:
+    """Reconstruct replay tasks from an exported Chrome-trace JSON object."""
+    out = []
+    for e in doc.get("traceEvents", ()):
+        if e.get("ph") != "X" or e.get("cat") != "memoized":
+            continue
+        args = e.get("args", {})
+        if "brick" not in args or "node_id" not in args:
+            continue
+        out.append(ReplayTask(
+            seq=args["seq"], node_id=args["node_id"],
+            subgraph_index=args.get("subgraph"),
+            brick=tuple(args["brick"]), batch_index=args.get("batch", 0),
+            worker=e.get("tid", 0),
+            start_s=e["ts"] / 1e6, end_s=(e["ts"] + e["dur"]) / 1e6))
+    return out
+
+
+def replay_trace(plan: ExecutionPlan, records: Iterable) -> AnalysisReport:
+    """Verify a run's memoized task stream against ``plan``.
+
+    ``records`` may be ``TraceCollector.records`` or the output of
+    :func:`replay_tasks_from_chrome_trace`.
+    """
+    report = AnalysisReport()
+    tasks = (list(records) if records and isinstance(next(iter(records), None), ReplayTask)
+             else _as_replay_tasks(records))
+    by_sub: dict[int | None, list[ReplayTask]] = {}
+    for t in tasks:
+        by_sub.setdefault(t.subgraph_index, []).append(t)
+
+    checked = 0
+    for sub in plan.subgraphs:
+        if sub.strategy.value != "memoized" or not sub.brick_shape:
+            continue
+        checked += 1
+        _replay_subgraph(plan.graph, sub, by_sub.get(sub.index, []), report)
+    if checked == 0:
+        _diag(report, "replay.no-memoized-subgraphs",
+              f"plan for {plan.graph.name!r} has no memoized subgraphs; nothing "
+              f"to replay", severity=Severity.INFO)
+    return report
+
+
+def _grids(graph, sub: SubgraphPlan) -> dict[int, "object"]:
+    from repro.core.bricked import BrickGrid
+
+    grids = {}
+    for nid in sub.subgraph.node_ids:
+        spec = graph.node(nid).spec
+        if not spec.spatial:
+            continue
+        shape = tuple(min(b, e) for b, e in zip(sub.brick_shape, spec.spatial))
+        grids[nid] = BrickGrid(spec.spatial, shape)
+    return grids
+
+
+def _replay_subgraph(graph, sub: SubgraphPlan, tasks: list[ReplayTask],
+                     report: AnalysisReport) -> None:
+    members = set(sub.subgraph.node_ids)
+    grids = _grids(graph, sub)
+    if not tasks:
+        _diag(report, "replay.no-tasks",
+              f"subgraph {sub.index} is memoized but the trace has no memoized "
+              f"brick tasks for it", sub.index)
+        return
+
+    # Index the producer of every (node, brick, batch); flag duplicates.
+    producer: dict[tuple[int, tuple[int, ...], int], ReplayTask] = {}
+    for t in sorted(tasks, key=lambda t: t.seq):
+        node = graph.node(t.node_id)
+        if t.node_id not in members:
+            _diag(report, "replay.foreign-node",
+                  f"subgraph {sub.index}: memoized task for non-member node "
+                  f"{node.name!r}", sub.index, t.node_id)
+            continue
+        grid = grids.get(t.node_id)
+        if grid is None or len(t.brick) != len(grid.grid_shape) or any(
+                not 0 <= p < g for p, g in zip(t.brick, grid.grid_shape)):
+            _diag(report, "replay.invalid-brick",
+                  f"subgraph {sub.index}: task brick {t.brick} outside the grid "
+                  f"of {node.name!r}", sub.index, t.node_id)
+            continue
+        if not 0 <= t.batch_index < node.spec.batch:
+            _diag(report, "replay.invalid-batch",
+                  f"subgraph {sub.index}: task batch {t.batch_index} outside "
+                  f"batch extent {node.spec.batch} of {node.name!r}",
+                  sub.index, t.node_id)
+            continue
+        key = (t.node_id, t.brick, t.batch_index)
+        if key in producer:
+            _diag(report, "replay.double-compute",
+                  f"subgraph {sub.index}: brick {t.brick} of {node.name!r} "
+                  f"(batch {t.batch_index}) computed twice (tasks "
+                  f"{producer[key].seq} and {t.seq}): the exactly-once guarantee "
+                  f"is broken", sub.index, t.node_id)
+            continue
+        producer[key] = t
+
+    # Exactly-once completeness: every exit brick must have been computed.
+    for eid in sub.subgraph.exit_ids:
+        grid = grids.get(eid)
+        if grid is None:
+            continue
+        spec = graph.node(eid).spec
+        missing = 0
+        for gpos in _all_bricks(grid.grid_shape):
+            for b in range(spec.batch):
+                if (eid, gpos, b) not in producer:
+                    missing += 1
+        if missing:
+            _diag(report, "replay.missing-brick",
+                  f"subgraph {sub.index}: {missing} exit brick task(s) of "
+                  f"{graph.node(eid).name!r} never ran", sub.index, eid)
+
+    # Happens-before: every member-brick dependency was produced earlier.
+    for key, t in producer.items():
+        for dep_key in _member_deps(graph, members, grids, *key):
+            p = producer.get(dep_key)
+            dnid, dpos, _ = dep_key
+            if p is None:
+                _diag(report, "replay.missing-producer",
+                      f"subgraph {sub.index}: task {t.seq} read brick {dpos} of "
+                      f"{graph.node(dnid).name!r} which no task produced",
+                      sub.index, t.node_id)
+                continue
+            if p.seq >= t.seq:
+                _diag(report, "replay.read-before-produce",
+                      f"subgraph {sub.index}: task {t.seq} ({graph.node(t.node_id).name!r} "
+                      f"brick {t.brick}) was submitted before its producer task "
+                      f"{p.seq} ({graph.node(dnid).name!r} brick {dpos}): consumer "
+                      f"read did not happen-after the producer's completion",
+                      sub.index, t.node_id)
+            elif p.worker == t.worker and p.end_s > t.start_s + 1e-12:
+                _diag(report, "replay.lane-overlap",
+                      f"subgraph {sub.index}: producer task {p.seq} and consumer "
+                      f"task {t.seq} overlap on worker lane {t.worker}",
+                      sub.index, t.node_id)
+
+
+def _all_bricks(grid_shape: Sequence[int]):
+    positions: list[tuple[int, ...]] = [()]
+    for g in grid_shape:
+        positions = [p + (i,) for p in positions for i in range(g)]
+    return positions
+
+
+def _member_deps(graph, members: set[int], grids: dict, nid: int,
+                 gpos: tuple[int, ...], batch: int):
+    """Member bricks the task for (nid, gpos, batch) reads -- the same
+    receptive-field derivation as ``MemoizedBrickExecutor._dependencies``,
+    recomputed from the graph."""
+    node = graph.node(nid)
+    grid = grids[nid]
+    region = grid.brick_region(gpos, clipped=True)
+    input_specs = [graph.node(i).spec for i in node.inputs]
+    for input_index, pred in enumerate(node.inputs):
+        if pred not in members:
+            continue
+        maps = node.op.rf_maps(input_specs, input_index)
+        need = Region(m.in_interval(iv) for m, iv in zip(maps, region))
+        for dep_pos in grids[pred].bricks_overlapping(need):
+            yield (pred, dep_pos, batch)

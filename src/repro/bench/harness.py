@@ -75,11 +75,16 @@ def run_brickdl(
     layer_schedule: tuple[int, ...] | None = None,
     label: str | None = None,
     trace: "str | os.PathLike | None" = None,
+    verify: bool = False,
 ) -> tuple[BreakdownRow, ExecutionPlan]:
     """Profile one BrickDL configuration; returns (row, plan).
 
     ``trace`` optionally names a file to receive the run's task timeline as
-    Chrome-trace/Perfetto JSON (see :mod:`repro.profiling`).
+    Chrome-trace/Perfetto JSON (see :mod:`repro.profiling`).  ``verify``
+    turns on the engine's strict mode: the compiled plan is checked against
+    the analysis passes (:mod:`repro.analysis`) and the run's trace is
+    replay-verified, so a benchmark number can only come from a run the
+    checkers accept.
     """
     engine = BrickDLEngine(
         graph,
@@ -88,6 +93,7 @@ def run_brickdl(
         strategy_override=strategy,
         brick_override=brick,
         layer_schedule=layer_schedule,
+        strict=verify,
     )
     plan = engine.compile()
     device = Device(adapt_sectors(spec, plan))

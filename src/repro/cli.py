@@ -6,6 +6,7 @@ Usage::
     python -m repro.cli plan resnet50 --image-size 224
     python -m repro.cli run darknet53 --strategy memoized --compare
     python -m repro.cli profile resnet50 --trace run.json --csv run.csv
+    python -m repro.cli lint resnet50 --protocol --run
     python -m repro.cli tune vgg16 --image-size 96
     python -m repro.cli fig 10            # run an evaluation figure driver
     python -m repro.cli microbench
@@ -113,6 +114,54 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    """Static analysis: lint the graph, verify the compiled plan, model-check
+    the memoization protocol, and optionally replay a run's trace."""
+    from repro.analysis import (
+        GridModel,
+        ProtocolModel,
+        explore_protocol,
+        lint_graph,
+        replay_tasks_from_chrome_trace,
+        replay_trace,
+        verify_plan,
+    )
+    from repro.core.engine import BrickDLEngine
+
+    graph = _build_model(args)
+    strategy = _strategy(args)
+    engine = BrickDLEngine(graph, strategy_override=strategy, brick_override=args.brick)
+    plan = engine.compile()
+
+    report = lint_graph(graph)
+    report.extend(verify_plan(plan, engine.spec, engine.config,
+                              strategy_override=strategy,
+                              brick_override=args.brick))
+    if args.protocol:
+        report.extend(explore_protocol(GridModel(), ProtocolModel()))
+    if args.replay:
+        import json
+        import pathlib
+
+        doc = json.loads(pathlib.Path(args.replay).read_text())
+        report.extend(replay_trace(plan, replay_tasks_from_chrome_trace(doc)))
+    elif args.run:
+        from repro.bench.harness import adapt_sectors
+        from repro.gpusim.device import Device
+        from repro.profiling import TraceCollector
+
+        device = Device(adapt_sectors(A100, plan))
+        trace = device.attach(TraceCollector())
+        engine.run(inputs=None, functional=False, device=device, plan=plan)
+        report.extend(replay_trace(plan, trace.records))
+
+    print(report.summary(f"{args.model}: {len(graph)} nodes, "
+                         f"{len(plan.subgraphs)} subgraphs"))
+    for d in report.diagnostics:
+        print(d.render())
+    return 1 if report.errors else 0
+
+
 def cmd_tune(args) -> int:
     from repro.core.tuner import tune_plan
 
@@ -171,7 +220,9 @@ def build_parser() -> argparse.ArgumentParser:
                             ("run", cmd_run, "profile a model on the simulated A100"),
                             ("profile", cmd_profile,
                              "run with the trace collector; export timeline + attribution"),
-                            ("tune", cmd_tune, "empirically tune strategies/bricks per subgraph")):
+                            ("tune", cmd_tune, "empirically tune strategies/bricks per subgraph"),
+                            ("lint", cmd_lint,
+                             "static analysis: lint the graph and verify the plan invariants")):
         sp = sub.add_parser(name, help=help_)
         sp.add_argument("model")
         sp.add_argument("--image-size", type=int, default=None)
@@ -182,6 +233,13 @@ def build_parser() -> argparse.ArgumentParser:
             sp.add_argument("--compare", action="store_true", help="also run the cuDNN baseline")
             sp.add_argument("--per-subgraph", action="store_true",
                             help="attribute counters to each plan subgraph")
+        if name == "lint":
+            sp.add_argument("--protocol", action="store_true",
+                            help="also model-check the memoization tag protocol")
+            sp.add_argument("--run", action="store_true",
+                            help="also execute the plan and replay-check its trace")
+            sp.add_argument("--replay", default=None, metavar="TRACE.json",
+                            help="replay-check an exported Chrome-trace JSON")
         if name == "profile":
             sp.add_argument("--trace", default=None, metavar="OUT.json",
                             help="write a Chrome-trace/Perfetto JSON timeline")

@@ -142,6 +142,7 @@ class BrickDLEngine:
         brick_override: int | None = None,
         max_layers: int | None = None,
         layer_schedule: tuple[int, ...] | None = None,
+        strict: bool = False,
     ) -> None:
         graph.validate()
         self.graph = graph
@@ -151,6 +152,7 @@ class BrickDLEngine:
         self.brick_override = brick_override
         self.max_layers = max_layers
         self.layer_schedule = layer_schedule
+        self.strict = strict
 
     # -- compilation -----------------------------------------------------------
     def compile(self) -> ExecutionPlan:
@@ -160,7 +162,28 @@ class BrickDLEngine:
         plan = ExecutionPlan(self.graph)
         for index, view in enumerate(views):
             plan.subgraphs.append(self._decide(index, view))
+        if self.strict:
+            self._strict_check_plan(plan)
         return plan
+
+    def _strict_check_plan(self, plan: ExecutionPlan) -> None:
+        """Strict mode: run the analysis passes over the freshly compiled
+        plan and refuse to hand out one that fails its own invariants."""
+        # Imported lazily: repro.analysis depends on this module.
+        from repro.analysis import lint_graph, verify_plan
+
+        report = lint_graph(self.graph)
+        report.extend(verify_plan(
+            plan, self.spec, self.config,
+            strategy_override=self.strategy_override,
+            brick_override=self.brick_override,
+            layer_schedule=self.layer_schedule,
+        ))
+        if not report.ok:
+            raise PlanError(
+                "strict compile failed verification:\n"
+                + "\n".join(d.render() for d in report.errors)
+            )
 
     def _decide(self, index: int, view: SubgraphView) -> SubgraphPlan:
         graph = self.graph
@@ -199,7 +222,7 @@ class BrickDLEngine:
         brick_shape = tuple(min(brick, e) for e in exit_spec.spatial)
         delta = padding_growth(view, None, brick_shape)
         strategy = self.strategy_override or choose_strategy(delta, self.config)
-        footprint = merged_footprint_bytes(graph, view.node_ids, view.entry_ids)
+        footprint = merged_footprint_bytes(graph, view.node_ids, view.entry_ids, brick_shape)
         reason = f"delta {'>' if delta > self.config.delta_threshold else '<='} {self.config.delta_threshold:.0%}"
         return SubgraphPlan(
             index=index, subgraph=view, strategy=strategy, brick_shape=brick_shape,
@@ -259,6 +282,15 @@ class BrickDLEngine:
         if functional:
             outputs = {n.name: boundary[n.node_id].require_data() for n in graph.output_nodes}
         metrics = device.finish()
+        if self.strict:
+            from repro.analysis import replay_trace
+
+            report = replay_trace(plan, collector.records)
+            if not report.ok:
+                raise ExecutionError(
+                    "strict run failed trace replay:\n"
+                    + "\n".join(d.render() for d in report.errors)
+                )
         return EngineResult(outputs=outputs, metrics=metrics, plan=plan,
                             per_subgraph=collector.per_subgraph(len(plan.subgraphs)),
                             trace=collector)

@@ -254,7 +254,8 @@ class MemoizedBrickExecutor:
         input_specs = [self.graph.node(i).spec for i in node.inputs]
 
         task = Task(label=f"memo/{node.name}/{frame.gpos}", node_id=frame.nid,
-                    strategy="memoized", worker=w.index)
+                    strategy="memoized", worker=w.index,
+                    brick=frame.gpos, batch_index=frame.batch)
         needs: list[Region] = []
         # One offset tuple per input: inputs may have differing halos, so each
         # patch is aligned by its own receptive-field offsets.

@@ -30,25 +30,61 @@ from repro.graph.traversal import SubgraphView, subgraph_view
 from repro.gpusim.spec import A100, GPUSpec
 from repro.core.perfmodel import DEFAULT_CONFIG, PerfModelConfig
 
-__all__ = ["partition_graph", "merged_footprint_bytes"]
-
-# Memo state: one tag byte per brick; approximated per element at the
-# coarsest brick granularity -- negligible, but accounted.
-_STATE_BYTES_PER_KB = 1
+__all__ = ["partition_graph", "merged_footprint_bytes", "memo_state_bytes"]
 
 
-def merged_footprint_bytes(graph: Graph, member_ids: Sequence[int], entry_ids: Sequence[int]) -> int:
+def memo_state_bytes(
+    graph: Graph,
+    member_ids: Sequence[int],
+    brick_shape: Sequence[int] | int,
+) -> int:
+    """Memo-state bytes: one tag byte per (batch, brick) of every member.
+
+    Mirrors the memoized executor's allocation exactly
+    (``bytearray(batch * grid_bricks)`` per member), so the plan verifier
+    can cross-check recorded footprints against this recomputation.
+    ``brick_shape`` is the per-dimension brick side, or a single side applied
+    uniformly (the partitioner's estimate before the brick-size model runs).
+    """
+    import math
+
+    total = 0
+    for nid in member_ids:
+        spec = graph.node(nid).spec
+        if not spec.spatial:
+            continue
+        if isinstance(brick_shape, int):
+            sides: Sequence[int] = (brick_shape,) * len(spec.spatial)
+        else:
+            sides = brick_shape
+        clamped = tuple(min(int(b), e) for b, e in zip(sides, spec.spatial))
+        bricks = math.prod(-(-e // b) for e, b in zip(spec.spatial, clamped))
+        total += spec.batch * bricks
+    return total
+
+
+def merged_footprint_bytes(
+    graph: Graph,
+    member_ids: Sequence[int],
+    entry_ids: Sequence[int],
+    brick_shape: Sequence[int] | int | None = None,
+) -> int:
     """On-chip working set of merged execution over ``member_ids``.
 
     Memoized execution keeps every member's bricked activation live until
     the subgraph completes (bricks are consumed asynchronously), so the
     footprint is the sum of member activations plus the entry activations
-    being read, plus the memo-state arrays.
+    being read, plus the memo-state arrays (one tag byte per brick, from the
+    actual brick count of the candidate -- ``brick_shape`` defaults to the
+    finest brick candidate, the largest state the brick-size model can
+    later pick).
     """
     total = 0
     for nid in list(member_ids) + list(entry_ids):
         total += graph.node(nid).spec.nbytes
-    total += total * _STATE_BYTES_PER_KB // 1024
+    if brick_shape is None:
+        brick_shape = min(DEFAULT_CONFIG.brick_candidates)
+    total += memo_state_bytes(graph, member_ids, brick_shape)
     return total
 
 
@@ -102,7 +138,8 @@ def partition_graph(
         candidate = current + [node.node_id]
         if schedule is None:
             entries = _entries_of(graph, candidate)
-            footprint = merged_footprint_bytes(graph, candidate, entries)
+            footprint = merged_footprint_bytes(
+                graph, candidate, entries, min(config.brick_candidates))
             if current and footprint > budget:
                 close()
                 candidate = [node.node_id]

@@ -124,7 +124,11 @@ class Task:
     * ``worker`` -- the virtual worker / SM lane the task ran on (assigned
       by the device at submit time if the executor did not choose one);
     * ``start_s`` / ``end_s`` -- issue-order timeline position, assigned by
-      the device from the ``spec.task_time`` model.
+      the device from the ``spec.task_time`` model;
+    * ``brick`` / ``batch_index`` -- for brick-granular tasks (the memoized
+      executor), the grid position and batch sample this task computes:
+      the identity the trace-replay checker uses to assert the
+      exactly-once and happens-before protocol properties.
     """
 
     label: str
@@ -140,6 +144,8 @@ class Task:
     worker: int | None = None
     start_s: float | None = None
     end_s: float | None = None
+    brick: tuple[int, ...] | None = None
+    batch_index: int | None = None
 
     @property
     def duration_s(self) -> float:

@@ -157,18 +157,63 @@ class Graph:
         return sum(w.nbytes for n in self._nodes for w in n.weights.values())
 
     # -- analysis helpers --------------------------------------------------------
-    def validate(self) -> None:
-        """Structural sanity checks (arity, reachability of outputs)."""
-        for node in self._nodes:
+    def structural_errors(self) -> list[GraphError]:
+        """Every structural failure as a typed :class:`GraphError`.
+
+        Each error message names the offending node (and edge, where one is
+        involved).  ``validate`` raises the first; the graph linter
+        (:mod:`repro.analysis.graph_lint`) reports them all -- both consume
+        this single implementation so the checks cannot drift apart.
+        """
+        errors: list[GraphError] = []
+        for index, node in enumerate(self._nodes):
+            if node.node_id != index:
+                errors.append(GraphError(
+                    f"node {node.name!r}: node_id {node.node_id} does not match "
+                    f"its position {index} in the graph"))
             if len(node.inputs) != node.op.arity:
-                raise GraphError(
+                errors.append(GraphError(
                     f"node {node.name!r}: op {node.op.kind} expects {node.op.arity} "
-                    f"inputs, has {len(node.inputs)}"
-                )
+                    f"inputs, has {len(node.inputs)}"))
+            for i in node.inputs:
+                if not 0 <= i < len(self._nodes):
+                    errors.append(GraphError(
+                        f"node {node.name!r}: dangling edge to nonexistent node id {i}"))
+                elif i >= node.node_id:
+                    errors.append(GraphError(
+                        f"node {node.name!r}: edge {i} -> {node.node_id} violates "
+                        f"topological order (consumes node {self._nodes[i].name!r} "
+                        f"added later)"))
+            if self._by_name.get(node.name) is not node:
+                errors.append(GraphError(
+                    f"node {node.name!r}: name resolves to a different node "
+                    f"(duplicate or stale name index)"))
+        # Consumer bookkeeping must mirror the edge list exactly.
+        expected: list[list[int]] = [[] for _ in self._nodes]
+        for node in self._nodes:
+            for i in node.inputs:
+                if 0 <= i < len(self._nodes):
+                    expected[i].append(node.node_id)
+        for node in self._nodes:
+            if sorted(self._consumers[node.node_id]) != sorted(expected[node.node_id]):
+                errors.append(GraphError(
+                    f"node {node.name!r}: consumer list {self._consumers[node.node_id]} "
+                    f"disagrees with the edges ({expected[node.node_id]})"))
+        bad_outputs = [oid for oid in self._outputs if not 0 <= oid < len(self._nodes)]
+        for oid in bad_outputs:
+            errors.append(GraphError(
+                f"graph {self.name!r}: marked output id {oid} does not exist"))
         if not self.input_nodes:
-            raise GraphError(f"graph {self.name!r} has no input nodes")
-        if not self.output_nodes:
-            raise GraphError(f"graph {self.name!r} has no output nodes")
+            errors.append(GraphError(f"graph {self.name!r} has no input nodes"))
+        if not bad_outputs and not self.output_nodes:
+            errors.append(GraphError(f"graph {self.name!r} has no output nodes"))
+        return errors
+
+    def validate(self) -> None:
+        """Structural sanity checks; raises the first :class:`GraphError`."""
+        errors = self.structural_errors()
+        if errors:
+            raise errors[0]
 
     def activation_bytes(self) -> int:
         """Sum of all activation sizes (one pass, no reuse)."""

@@ -54,6 +54,8 @@ class TaskRecord:
     atomics_conflict: int
     bytes_read: int
     bytes_written: int
+    brick: tuple[int, ...] | None = None
+    batch_index: int | None = None
 
     @property
     def duration_s(self) -> float:
@@ -167,6 +169,8 @@ class TraceCollector(DeviceObserver):
             atomics_conflict=delta.get("atomics_conflict", 0),
             bytes_read=task.bytes_read,
             bytes_written=task.bytes_written,
+            brick=task.brick,
+            batch_index=task.batch_index,
         ))
 
     def on_sync(self, device: "Device", time_s: float) -> None:

@@ -72,6 +72,10 @@ def chrome_trace(collector: TraceCollector,
             args["node_id"] = r.node_id
         if r.subgraph_index is not None:
             args["subgraph"] = r.subgraph_index
+        if r.brick is not None:
+            args["brick"] = list(r.brick)
+        if r.batch_index is not None:
+            args["batch"] = r.batch_index
         if r.atomics_compulsory or r.atomics_conflict:
             args["atomics_compulsory"] = r.atomics_compulsory
             args["atomics_conflict"] = r.atomics_conflict

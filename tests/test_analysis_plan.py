@@ -1,0 +1,176 @@
+"""Plan verifier property tests (repro.analysis.plan_verify).
+
+Every zoo model's compiled plan must satisfy the §3.3 invariants the
+verifier independently re-derives; seeded tampering of a valid plan must be
+flagged with the right diagnostic code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis import verify_plan
+from repro.core.engine import BrickDLEngine
+from repro.core.partition import memo_state_bytes, merged_footprint_bytes
+from repro.core.plan import ExecutionPlan, Strategy
+from repro.graph.traversal import subgraph_view
+from repro.models import MODELS, build
+
+ALL = sorted(MODELS)
+# Branchy topologies where convexity is actually at risk: ResNet skip
+# connections and Inception branches.
+RISKY = ["resnet50", "inception_v4", "resnet101", "deepcam"]
+
+
+def _compiled(name, **kwargs):
+    graph = build(name, reduced=True)
+    engine = BrickDLEngine(graph, **kwargs)
+    return engine, engine.compile()
+
+
+def _downstream(graph, roots):
+    seen, frontier = set(roots), list(roots)
+    while frontier:
+        for c in graph.consumers(frontier.pop()):
+            if c not in seen:
+                seen.add(c)
+                frontier.append(c)
+    return seen
+
+
+def _upstream(graph, roots):
+    seen, frontier = set(roots), list(roots)
+    while frontier:
+        for i in graph.node(frontier.pop()).inputs:
+            if i not in seen:
+                seen.add(i)
+                frontier.append(i)
+    return seen
+
+
+class TestZooProperties:
+    @pytest.mark.parametrize("name", ALL)
+    def test_verifier_clean(self, name):
+        engine, plan = _compiled(name)
+        report = verify_plan(plan, engine.spec, engine.config)
+        assert report.ok, report.summary(name)
+
+    @pytest.mark.parametrize("name", RISKY)
+    def test_dependency_convexity(self, name):
+        """Independent convexity predicate: no non-member lies on a path
+        between two members."""
+        _, plan = _compiled(name)
+        graph = plan.graph
+        for sub in plan.subgraphs:
+            members = set(sub.subgraph.node_ids)
+            between = (_downstream(graph, members) & _upstream(graph, members)) - members
+            assert not between, (
+                f"{name} subgraph {sub.index}: nodes {sorted(between)} lie on "
+                f"member-to-member paths but are not members")
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_footprint_bound_and_recompute(self, name):
+        """Satellite 1: recorded footprints derive from the actual brick
+        count of the candidate, and merged multi-layer subgraphs respect the
+        L2 budget."""
+        engine, plan = _compiled(name)
+        budget = engine.spec.l2_bytes * engine.config.l2_budget_fraction
+        for sub in plan.subgraphs:
+            if not sub.is_merged:
+                continue
+            recomputed = merged_footprint_bytes(
+                graph=plan.graph, member_ids=sub.subgraph.node_ids,
+                entry_ids=sub.subgraph.entry_ids, brick_shape=sub.brick_shape)
+            assert recomputed == sub.footprint_bytes, (name, sub.index)
+            if len(sub.subgraph) > 1:
+                assert sub.footprint_bytes <= budget, (name, sub.index)
+
+    def test_memo_state_scales_with_brick_count(self):
+        g = build("resnet50", reduced=True)
+        ids = [n.node_id for n in g.nodes if n.spec.spatial][:4]
+        small = memo_state_bytes(g, ids, 4)
+        large = memo_state_bytes(g, ids, 32)
+        assert small > large > 0  # finer bricks -> more tags
+
+    def test_full_scale_resnet50(self):
+        graph = build("resnet50")
+        engine = BrickDLEngine(graph)
+        report = verify_plan(engine.compile(), engine.spec, engine.config)
+        assert report.ok, report.summary("resnet50/full")
+
+
+class TestSeededTampering:
+    def _tamper(self, plan, index, **changes):
+        subs = list(plan.subgraphs)
+        subs[index] = replace(subs[index], **changes)
+        out = ExecutionPlan(plan.graph)
+        out.subgraphs = subs
+        return out
+
+    def _merged_index(self, plan):
+        return next(s.index for s in plan.subgraphs
+                    if s.is_merged and len(s.subgraph) > 1)
+
+    def test_footprint_lie_is_flagged(self):
+        engine, plan = _compiled("resnet50")
+        i = self._merged_index(plan)
+        bad = self._tamper(plan, i,
+                           footprint_bytes=plan.subgraphs[i].footprint_bytes + 1)
+        report = verify_plan(bad, engine.spec, engine.config)
+        assert report.by_code("plan.footprint-mismatch")
+
+    def test_delta_lie_is_flagged(self):
+        engine, plan = _compiled("resnet50")
+        i = self._merged_index(plan)
+        bad = self._tamper(plan, i, delta=plan.subgraphs[i].delta + 0.5)
+        report = verify_plan(bad, engine.spec, engine.config)
+        codes = {d.code for d in report.errors}
+        assert "plan.delta-mismatch" in codes or "plan.strategy-mismatch" in codes
+
+    def test_wrong_strategy_is_flagged(self):
+        engine, plan = _compiled("resnet50")
+        i = self._merged_index(plan)
+        current = plan.subgraphs[i].strategy
+        flipped = Strategy.PADDED if current is Strategy.MEMOIZED else Strategy.MEMOIZED
+        bad = self._tamper(plan, i, strategy=flipped)
+        report = verify_plan(bad, engine.spec, engine.config)
+        assert report.by_code("plan.strategy-mismatch")
+
+    def test_nonconvex_subgraph_is_flagged(self):
+        engine, plan = _compiled("resnet50")
+        graph = plan.graph
+        sub = next(s for s in plan.subgraphs
+                   if s.is_merged and len(s.subgraph) >= 3)
+        ids = list(sub.subgraph.node_ids)
+        # Drop an interior node: a member-to-member path now crosses it.
+        interior = next(
+            nid for nid in ids[1:-1]
+            if any(i in ids for i in graph.node(nid).inputs)
+            and any(c in ids for c in graph.consumers(nid)))
+        holed = [i for i in ids if i != interior]
+        view = subgraph_view(graph, holed)
+        bad = self._tamper(plan, sub.index, subgraph=view)
+        report = verify_plan(bad, engine.spec, engine.config)
+        codes = {d.code for d in report.errors}
+        assert "plan.convexity" in codes or "plan.contiguity" in codes, codes
+
+    def test_missing_node_coverage_is_flagged(self):
+        engine, plan = _compiled("resnet50")
+        bad = ExecutionPlan(plan.graph)
+        bad.subgraphs = list(plan.subgraphs[:-1])
+        report = verify_plan(bad, engine.spec, engine.config)
+        assert report.by_code("plan.uncovered")
+
+    def test_override_relaxation(self):
+        """Plans compiled under overrides verify when the verifier is told
+        about them."""
+        engine, plan = _compiled("resnet50", brick_override=8)
+        relaxed = verify_plan(plan, engine.spec, engine.config, brick_override=8)
+        assert relaxed.ok, relaxed.summary("brick_override=8")
+
+        engine, plan = _compiled("resnet50", strategy_override=Strategy.PADDED)
+        relaxed = verify_plan(plan, engine.spec, engine.config,
+                              strategy_override=Strategy.PADDED)
+        assert relaxed.ok, relaxed.summary("strategy_override=padded")
