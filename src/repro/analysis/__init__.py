@@ -11,6 +11,11 @@ Three passes behind one :class:`Diagnostic`/:class:`AnalysisReport` API:
   exhaustively model-checks the 0->1->2 CAS tag automaton on a small brick
   grid, and :func:`replay_trace` validates a real run's task trace for
   exactly-once and happens-before.
+
+The *dynamic* counterpart lives in :mod:`repro.sanitize`: an
+:class:`ExecutionSanitizer` device observer (re-exported here) that checks
+shadow memory, happens-before races, and numeric health of live runs,
+reporting through the same currency.
 """
 
 from repro.analysis.diagnostics import AnalysisReport, Diagnostic, Severity
@@ -22,6 +27,18 @@ from repro.analysis.replay import (
     replay_tasks_from_chrome_trace,
     replay_trace,
 )
+
+
+def __getattr__(name: str):
+    # Lazy re-export: repro.sanitize itself imports repro.analysis.diagnostics
+    # (which executes this package __init__ first), so an eager import here
+    # would be circular.
+    if name == "ExecutionSanitizer":
+        from repro.sanitize import ExecutionSanitizer
+
+        return ExecutionSanitizer
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "AnalysisReport",
@@ -35,4 +52,5 @@ __all__ = [
     "ReplayTask",
     "replay_trace",
     "replay_tasks_from_chrome_trace",
+    "ExecutionSanitizer",
 ]

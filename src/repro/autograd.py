@@ -47,7 +47,6 @@ from repro.graph.ops import (
     Mul,
     Pool,
 )
-from repro.graph.tensorspec import TensorSpec
 
 __all__ = ["build_input_gradient_graph", "gradient_feeds", "activation_mask"]
 

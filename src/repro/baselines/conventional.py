@@ -14,7 +14,7 @@ from typing import Callable, Iterator, Mapping
 
 import numpy as np
 
-from repro.baselines.fusion import FusionGroup, fuse_graph
+from repro.baselines.fusion import fuse_graph
 from repro.baselines.tiled import (
     adaptive_tiles,
     compute_group_values,

@@ -25,10 +25,10 @@ import numpy as np
 from repro.baselines.fusion import FusionGroup
 from repro.core.handles import DenseHandle
 from repro.errors import ExecutionError
-from repro.graph.ir import Graph, Node
+from repro.graph.ir import Graph
 from repro.graph.regions import Interval, Region
 from repro.gpusim.device import Device
-from repro.gpusim.trace import Buffer, Task
+from repro.gpusim.trace import Buffer, Task, buffer_token
 from repro.kernels import apply_node_full
 
 __all__ = ["spatial_tiles", "slab_tiles", "run_group_tiled", "run_group_global", "compute_group_values"]
@@ -117,21 +117,26 @@ def run_group_tiled(
         for n in range(batch):
             task = Task(label=f"{label}/{out_node.name}/{tuple(iv.lo for iv in region)}",
                         node_id=out_node.node_id)
-            # Primary inputs: halo-enlarged regions.
+            # Primary inputs: halo-enlarged regions.  Each input handle's
+            # whole-buffer token records the kernel-launch ordering against
+            # the producing (possibly un-barriered) conversion kernel.
             for input_index, pred in enumerate(primary.inputs):
                 maps = primary.op.rf_maps(primary_specs, input_index)
                 need = Region(m.in_interval(iv) for m, iv in zip(maps, region))
                 handles[pred].emit_region_read(task, n, need)
+                task.acquire(buffer_token(handles[pred].buffer))
             # Side inputs of fused followers (residual adds): same tile region.
             for fnode in group.fused:
                 for pred in fnode.inputs:
                     if pred not in group_ids:
                         handles[pred].emit_region_read(task, n, region)
+                        task.acquire(buffer_token(handles[pred].buffer))
             for node in group.nodes:
                 wb = weight_buffers.get(node.node_id)
                 if wb is not None and wb.nbytes:
                     task.read(wb, 0, wb.nbytes)
             out_handle.emit_region_write(task, n, region)
+            task.release(buffer_token(out_handle.buffer))
             task.flops = fpe * out_node.spec.channels * region.size
             device.submit(task)
             count += 1
@@ -155,10 +160,12 @@ def run_group_global(
         for pred in node.inputs:
             if pred not in group_ids:
                 handles[pred].emit_full_read(task)
+                task.acquire(buffer_token(handles[pred].buffer))
         wb = weight_buffers.get(node.node_id)
         if wb is not None and wb.nbytes:
             task.read(wb, 0, wb.nbytes)
     out_handle.emit_full_write(task)
+    task.release(buffer_token(out_handle.buffer))
     fpe = group_flops_per_out_element(graph, group)
     task.flops = fpe * out_node.spec.num_elements
     device.submit(task)

@@ -18,7 +18,7 @@ the paper plots:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 
 from repro.baselines.cudnn import CudnnBaseline
 from repro.baselines.torchscript import TorchScriptBaseline

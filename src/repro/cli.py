@@ -6,7 +6,8 @@ Usage::
     python -m repro.cli plan resnet50 --image-size 224
     python -m repro.cli run darknet53 --strategy memoized --compare
     python -m repro.cli profile resnet50 --trace run.json --csv run.csv
-    python -m repro.cli lint resnet50 --protocol --run
+    python -m repro.cli lint resnet50 --protocol --run --sanitize
+    python -m repro.cli sanitize vgg16 --reduced --strategy memoized
     python -m repro.cli tune vgg16 --image-size 96
     python -m repro.cli fig 10            # run an evaluation figure driver
     python -m repro.cli microbench
@@ -114,6 +115,41 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def _sanitized_run(graph, plan, strategy, brick):
+    """One functional run with the execution sanitizer attached; returns the
+    engine result (carrying ``sanitizer_report``)."""
+    import numpy as np
+
+    from repro.bench.harness import adapt_sectors
+    from repro.core.engine import BrickDLEngine
+    from repro.gpusim.device import Device
+
+    engine = BrickDLEngine(graph, strategy_override=strategy,
+                           brick_override=brick, sanitize=True)
+    device = Device(adapt_sectors(A100, plan))
+    rng = np.random.default_rng(0)
+    inputs = {n.name: rng.standard_normal(n.spec.shape).astype(n.spec.dtype)
+              for n in graph.input_nodes}
+    return engine.run(inputs=inputs, functional=True, device=device, plan=plan)
+
+
+def cmd_sanitize(args) -> int:
+    """Dynamic analysis: run the model functionally with the sanitizer suite
+    attached (shadow memory, happens-before races, numeric screening)."""
+    from repro.core.engine import BrickDLEngine
+
+    graph = _build_model(args)
+    strategy = _strategy(args)
+    plan = BrickDLEngine(graph, strategy_override=strategy,
+                         brick_override=args.brick).compile()
+    result = _sanitized_run(graph, plan, strategy, args.brick)
+    report = result.sanitizer_report
+    print(report.summary(f"{args.model}: sanitized run, "
+                         f"{result.metrics.num_tasks} tasks, "
+                         f"{len(plan.subgraphs)} subgraphs"))
+    return 1 if report.errors else 0
+
+
 def cmd_lint(args) -> int:
     """Static analysis: lint the graph, verify the compiled plan, model-check
     the memoization protocol, and optionally replay a run's trace."""
@@ -154,6 +190,9 @@ def cmd_lint(args) -> int:
         trace = device.attach(TraceCollector())
         engine.run(inputs=None, functional=False, device=device, plan=plan)
         report.extend(replay_trace(plan, trace.records))
+    if args.sanitize:
+        result = _sanitized_run(graph, plan, strategy, args.brick)
+        report.extend(result.sanitizer_report)
 
     print(report.summary(f"{args.model}: {len(graph)} nodes, "
                          f"{len(plan.subgraphs)} subgraphs"))
@@ -222,7 +261,9 @@ def build_parser() -> argparse.ArgumentParser:
                              "run with the trace collector; export timeline + attribution"),
                             ("tune", cmd_tune, "empirically tune strategies/bricks per subgraph"),
                             ("lint", cmd_lint,
-                             "static analysis: lint the graph and verify the plan invariants")):
+                             "static analysis: lint the graph and verify the plan invariants"),
+                            ("sanitize", cmd_sanitize,
+                             "dynamic analysis: run with the execution sanitizer suite attached")):
         sp = sub.add_parser(name, help=help_)
         sp.add_argument("model")
         sp.add_argument("--image-size", type=int, default=None)
@@ -240,6 +281,8 @@ def build_parser() -> argparse.ArgumentParser:
                             help="also execute the plan and replay-check its trace")
             sp.add_argument("--replay", default=None, metavar="TRACE.json",
                             help="replay-check an exported Chrome-trace JSON")
+            sp.add_argument("--sanitize", action="store_true",
+                            help="also execute functionally with the sanitizer suite")
         if name == "profile":
             sp.add_argument("--trace", default=None, metavar="OUT.json",
                             help="write a Chrome-trace/Perfetto JSON timeline")

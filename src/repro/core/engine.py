@@ -46,7 +46,7 @@ from repro.graph.ops import Conv, ConvTranspose, Pool
 from repro.graph.traversal import SubgraphView
 from repro.gpusim.device import Device, RunMetrics
 from repro.gpusim.spec import A100, GPUSpec
-from repro.gpusim.trace import Task
+from repro.gpusim.trace import Task, buffer_token
 
 __all__ = ["BrickDLEngine", "EngineResult"]
 
@@ -68,6 +68,9 @@ class EngineResult:
     plan: ExecutionPlan
     per_subgraph: list[dict] = field(default_factory=list)
     trace: "TraceCollector | None" = None
+    # When the engine ran with ``sanitize=True``: the execution sanitizer's
+    # AnalysisReport (shadow memory, happens-before, numeric screening).
+    sanitizer_report: "AnalysisReport | None" = None
 
     @property
     def total_time(self) -> float:
@@ -143,6 +146,7 @@ class BrickDLEngine:
         max_layers: int | None = None,
         layer_schedule: tuple[int, ...] | None = None,
         strict: bool = False,
+        sanitize: bool = False,
     ) -> None:
         graph.validate()
         self.graph = graph
@@ -153,6 +157,7 @@ class BrickDLEngine:
         self.max_layers = max_layers
         self.layer_schedule = layer_schedule
         self.strict = strict
+        self.sanitize = sanitize
 
     # -- compilation -----------------------------------------------------------
     def compile(self) -> ExecutionPlan:
@@ -245,6 +250,14 @@ class BrickDLEngine:
         collector = next((o for o in device.observers if isinstance(o, TraceCollector)), None)
         if collector is None:
             collector = device.attach(TraceCollector())
+        sanitizer = None
+        if self.sanitize:
+            from repro.sanitize import ExecutionSanitizer
+
+            sanitizer = next((o for o in device.observers
+                              if isinstance(o, ExecutionSanitizer)), None)
+            if sanitizer is None:
+                sanitizer = device.attach(ExecutionSanitizer(graph))
         if functional:
             graph.init_weights()
 
@@ -291,9 +304,15 @@ class BrickDLEngine:
                     "strict run failed trace replay:\n"
                     + "\n".join(d.render() for d in report.errors)
                 )
+        san_report = sanitizer.report() if sanitizer is not None else None
+        if self.strict and san_report is not None and not san_report.ok:
+            raise ExecutionError(
+                "strict run failed sanitizer checks:\n"
+                + "\n".join(d.render() for d in san_report.errors)
+            )
         return EngineResult(outputs=outputs, metrics=metrics, plan=plan,
                             per_subgraph=collector.per_subgraph(len(plan.subgraphs)),
-                            trace=collector)
+                            trace=collector, sanitizer_report=san_report)
 
     # -- merged subgraphs ---------------------------------------------------
     def _run_merged(self, device, sub: SubgraphPlan, boundary, weight_buffers, functional) -> None:
@@ -357,7 +376,6 @@ class BrickDLEngine:
 
         graph = self.graph
         values: dict[int, np.ndarray] = {}
-        members = set(sub.subgraph.node_ids)
         for group in self._fallback_groups(sub):
             node = group.output
             handles: dict[int, DenseHandle] = {}
@@ -380,6 +398,8 @@ class BrickDLEngine:
                 tile = 16 if node.spec.spatial_ndim >= 3 else 32
                 tiles = adaptive_tiles(node.spec.spatial, tile, device.spec.num_sms)
                 run_group_tiled(device, graph, group, handles, out_handle, tiles, weight_buffers, label="fallback")
+            if functional:
+                device.note_values(None, node.node_id, out_data)
             device.synchronize()
             for gnode in group.nodes:
                 boundary[gnode.node_id] = out_handle
@@ -430,9 +450,14 @@ class BrickDLEngine:
         # sees the new layout.
         task = Task(label=f"to-bricks/{node.name}", node_id=nid)
         task.read(handle.buffer, 0, handle.buffer.nbytes, dense=True)
+        task.acquire(buffer_token(handle.buffer))
         for n in range(node.spec.batch):
             for gpos in new.bricks():
                 new.emit_brick_write(task, n, gpos)
+        # No barrier separates this conversion from the consuming brick
+        # tasks: the whole-buffer token is the launch-ordering edge the
+        # executors acquire.
+        task.release(buffer_token(buf))
         device.submit(task)
         if functional:
             dense = handle.require_data() if isinstance(handle, DenseHandle) else handle.data.to_dense()
@@ -453,7 +478,9 @@ class BrickDLEngine:
         for n in range(node.spec.batch):
             for gpos in handle.bricks():
                 handle.emit_brick_read(task, n, gpos)
+        task.acquire(buffer_token(handle.buffer))
         task.write(buf, 0, node.spec.nbytes, dense=True)
+        task.release(buffer_token(buf))
         device.submit(task)
         data = handle.data.to_dense() if functional else None
         new = DenseHandle(node.spec, buf, data)

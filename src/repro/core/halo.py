@@ -22,7 +22,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import PlanError
-from repro.graph.ir import Node
 from repro.graph.regions import Region
 from repro.graph.traversal import SubgraphView
 

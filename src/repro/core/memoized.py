@@ -33,7 +33,7 @@ from repro.errors import ExecutionError
 from repro.graph.regions import Region
 from repro.graph.traversal import SubgraphView
 from repro.gpusim.device import Device
-from repro.gpusim.trace import Buffer, Task
+from repro.gpusim.trace import Buffer, Task, brick_token, buffer_token
 from repro.kernels import apply_node_local, pad_value_for
 
 __all__ = ["MemoizedBrickExecutor", "HALO_NEIGHBORHOOD_BRICKS"]
@@ -276,6 +276,7 @@ class MemoizedBrickExecutor:
             task.read(wb, 0, wb.nbytes)
         handle.emit_brick_write(task, frame.batch, frame.gpos)
         self._touch((handle.buffer.buffer_id, handle.brick_offset(frame.batch, frame.gpos)))
+        self._stamp_sync(task, frame)
         task.flops = node.op.flops(input_specs, node.spec.channels * region.size)
         task.atomics_compulsory = 2
         task.visits = 0  # visits are tracked globally by the scheduler
@@ -290,12 +291,37 @@ class MemoizedBrickExecutor:
             handle.scatter(frame.batch, region, values)
 
         self.device.submit(task)
+        if self.functional:
+            self.device.note_values(task, frame.nid, values)
         duration = self.device.spec.task_time(task.flops, task.calls)
         self._durations.append(duration)
         if self._quantum is None:
             self._quantum = max(self.device.spec.call_overhead_s, duration / 4.0)
         w.busy = max(1, round(duration / self._quantum))
         w.computing = (frame.nid, frame.gpos, frame.batch)
+
+    def _stamp_sync(self, task: Task, frame: _Frame) -> None:
+        """Stamp the protocol's happens-before edges on a brick task.
+
+        Acquires: the tag-checked member dependency bricks (the consumer
+        side of each dep's completion CAS) plus the whole-buffer token of
+        every entry source read (kernel-launch ordering against the layout
+        conversion that produced it).  Releases: this brick's own completion
+        CAS and its memo buffer's whole-buffer token.  These mirror exactly
+        what the simulated protocol synchronizes with -- the execution
+        sanitizer's race detector trusts nothing else.
+        """
+        handle = self.memo[frame.nid]
+        for dnid, dgpos in self._dependencies(frame.nid, frame.gpos, frame.batch):
+            dep = self.memo[dnid]
+            task.acquire(brick_token(dep.buffer, dep.brick_offset(frame.batch, dgpos)))
+        for pred in self.graph.node(frame.nid).inputs:
+            if pred not in self.members:
+                source = self.entries.get(pred)
+                if source is not None:
+                    task.acquire(buffer_token(source.buffer))
+        task.release(brick_token(handle.buffer, handle.brick_offset(frame.batch, frame.gpos)))
+        task.release(buffer_token(handle.buffer))
 
     def _touch(self, key: tuple[int, int]) -> bool:
         """Refresh a brick in the recency LRU; returns True if it was hot."""

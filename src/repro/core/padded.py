@@ -31,7 +31,7 @@ from repro.errors import ExecutionError
 from repro.graph.regions import Region
 from repro.graph.traversal import SubgraphView
 from repro.gpusim.device import Device
-from repro.gpusim.trace import Buffer, Task
+from repro.gpusim.trace import Buffer, Task, brick_token, buffer_token
 from repro.kernels import apply_node_local, pad_value_for
 
 __all__ = ["PaddedBrickExecutor"]
@@ -66,7 +66,6 @@ class PaddedBrickExecutor:
 
     def run(self) -> dict[int, BrickedHandle]:
         graph = self.subgraph.graph
-        members = set(self.subgraph.node_ids)
         for eid in self.subgraph.entry_ids:
             if eid not in self.entries:
                 raise ExecutionError(f"padded executor missing entry handle for node {eid}")
@@ -137,7 +136,8 @@ class PaddedBrickExecutor:
         required = required_regions(self.subgraph, exit_id, out_region)
 
         task = Task(label=f"padded/{graph.node(exit_id).name}/{grid_pos}",
-                    node_id=exit_id, strategy="padded", worker=worker)
+                    node_id=exit_id, strategy="padded", worker=worker,
+                    brick=grid_pos, batch_index=batch)
         scratch_buf, slots = scratch
         values: dict[int, np.ndarray] = {}
         covered: dict[int, Region] = {}
@@ -147,6 +147,7 @@ class PaddedBrickExecutor:
             if eid not in required:
                 continue
             self.entries[eid].emit_region_read(task, batch, required[eid])
+            task.acquire(buffer_token(self.entries[eid].buffer))
             covered[eid] = required[eid].clip(graph.node(eid).spec.spatial)
             if self.functional:
                 values[eid] = self.entries[eid].gather(batch, covered[eid])
@@ -210,4 +211,11 @@ class PaddedBrickExecutor:
         # Exits other than `exit_id` are materialized by their own brick loops.
         if self.functional and exit_id in values:
             exit_handle.scatter(batch, covered[exit_id], values[exit_id])
+        task.release(brick_token(exit_handle.buffer,
+                                 exit_handle.brick_offset(batch, grid_pos)))
+        task.release(buffer_token(exit_handle.buffer))
         self.device.submit(task)
+        if self.functional:
+            for nid in self.subgraph.node_ids:
+                if nid in values:
+                    self.device.note_values(task, nid, values[nid])

@@ -14,7 +14,7 @@ from typing import Mapping
 import numpy as np
 
 from repro.errors import ExecutionError
-from repro.graph.ir import Graph, Node
+from repro.graph.ir import Graph
 from repro.graph.traversal import topological_order
 from repro.kernels import apply_node_full
 

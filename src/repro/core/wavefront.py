@@ -7,10 +7,15 @@ execution strategy that schedules bricks on a **time-skewed wavefront**,
 the classic stencil technique (Wolfe 1986; Wellein et al. 2009) adapted to
 operator chains whose computation changes per layer.
 
-For a chain subgraph of ``L`` layers, brick ``g`` of layer ``l`` is placed
-on wave ``w = g_0 + l * s`` where ``g_0`` is the brick's index along the
-skew dimension and the skew factor ``s`` exceeds the halo reach in bricks,
-so every dependency lands on an earlier wave *by construction*:
+For a stride-preserving chain of ``L`` layers, brick ``g`` of layer ``l``
+lands on wave ``w = g_0 + l * s`` where ``g_0`` is the brick's index along
+the skew dimension and the skew factor ``s`` exceeds the halo reach in
+bricks.  The executor derives waves by dependency longest-path (first-layer
+bricks staggered by ``g_0``, every other brick one wave after its latest
+member dependency), which reproduces that static placement for stride-1
+chains and stays exact for downsampling layers, where the dependency
+distance grows with position and no constant skew is safe.  Either way,
+every dependency lands on an earlier wave *by construction*:
 
 * like memoized bricks, every (layer, brick) is computed exactly once --
   no redundant halo computation;
@@ -33,7 +38,7 @@ from repro.errors import ExecutionError
 from repro.graph.regions import Interval, Region
 from repro.graph.traversal import SubgraphView
 from repro.gpusim.device import Device
-from repro.gpusim.trace import Buffer, Task
+from repro.gpusim.trace import Buffer, Task, brick_token, buffer_token
 from repro.kernels import apply_node_local, pad_value_for
 
 __all__ = ["WavefrontBrickExecutor", "is_chain_subgraph", "skew_factor"]
@@ -111,16 +116,35 @@ class WavefrontBrickExecutor:
         graph = self.subgraph.graph
         batch = graph.node(self.subgraph.node_ids[0]).spec.batch
 
-        # Wave membership: brick g of layer index l runs on wave
-        # g[0] + l * skew.  Depth index per member along the chain:
-        layer_index = {nid: depth for depth, nid in enumerate(self.subgraph.node_ids)}
+        # Wave membership by dependency longest-path: a first-layer brick
+        # runs on wave ``g[0]`` (the classic stagger along the skew dim);
+        # every other brick runs one wave after the latest member brick it
+        # reads.  For stride-1 chains this reproduces the static
+        # ``g[0] + l * skew`` placement; for downsampling layers (pooling,
+        # strided convs) -- where the dependency distance grows with
+        # position and *no* constant skew is safe -- it remains exact by
+        # construction.
         max_wave = 0
         waves: dict[int, list[tuple[int, tuple[int, ...]]]] = {}
+        wave_of: dict[tuple[int, tuple[int, ...]], int] = {}
         for nid in self.subgraph.node_ids:
             handle = self.memo[nid]
-            l = layer_index[nid]
+            node = graph.node(nid)
+            input_specs = [graph.node(i).spec for i in node.inputs]
+            member_pred = next((i for i in node.inputs if i in self.memo), None)
             for gpos in handle.bricks():
-                w = gpos[0] + l * self.skew
+                if member_pred is None:
+                    w = gpos[0]
+                else:
+                    region = handle.grid.brick_region(gpos, clipped=True)
+                    idx = node.inputs.index(member_pred)
+                    maps = node.op.rf_maps(input_specs, idx)
+                    need = Region(m.in_interval(iv) for m, iv in zip(maps, region))
+                    source = self.memo[member_pred]
+                    dep_waves = [wave_of[(member_pred, dp)]
+                                 for dp in source.grid.bricks_overlapping(need)]
+                    w = max(dep_waves) + 1 if dep_waves else 0
+                wave_of[(nid, gpos)] = w
                 waves.setdefault(w, []).append((nid, gpos))
                 max_wave = max(max_wave, w)
 
@@ -143,7 +167,8 @@ class WavefrontBrickExecutor:
             return
         input_specs = [graph.node(i).spec for i in node.inputs]
 
-        task = Task(label=f"wave/{node.name}/{gpos}", node_id=nid, strategy="wavefront")
+        task = Task(label=f"wave/{node.name}/{gpos}", node_id=nid, strategy="wavefront",
+                    brick=gpos, batch_index=batch)
         needs: list[Region] = []
         # Per-input offsets: inputs may carry differing halos (skip adds).
         offsets: list[tuple[int, ...]] = []
@@ -159,12 +184,18 @@ class WavefrontBrickExecutor:
                 raise ExecutionError(f"no source handle for predecessor {pred}")
             if isinstance(source, BrickedHandle):
                 # Producer bricks completed on earlier waves; the wave
-                # schedule keeps the producing front L2-hot.
+                # schedule keeps the producing front L2-hot.  Member deps
+                # deliberately carry NO acquire edges: the per-wave barrier
+                # is the protocol, so a broken skew factor surfaces as a
+                # happens-before race under the sanitizer.
                 for dep_pos in source.grid.bricks_overlapping(need):
                     task.read(source.buffer, source.brick_offset(batch, dep_pos),
                               source.brick_nbytes)
+                if pred not in self.memo:
+                    task.acquire(buffer_token(source.buffer))
             else:
                 source.emit_region_read(task, batch, need)
+                task.acquire(buffer_token(source.buffer))
         wb = self.weight_buffers.get(nid)
         if wb is not None and wb.nbytes:
             task.read(wb, 0, wb.nbytes)
@@ -179,4 +210,8 @@ class WavefrontBrickExecutor:
                 patches.append(source.gather(batch, need, fill))
             values = apply_node_local(node.op, patches, node.weights, region.shape, offsets)
             handle.scatter(batch, region, values)
+        task.release(brick_token(handle.buffer, handle.brick_offset(batch, gpos)))
+        task.release(buffer_token(handle.buffer))
         self.device.submit(task)
+        if self.functional:
+            self.device.note_values(task, nid, values)

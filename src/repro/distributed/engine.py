@@ -36,7 +36,6 @@ from repro.distributed.comm import CommCounters, CommModel
 from repro.errors import ExecutionError
 from repro.graph.ir import Graph
 from repro.graph.regions import Region
-from repro.graph.traversal import SubgraphView
 from repro.gpusim.spec import A100, GPUSpec
 from repro.kernels import apply_node_local, pad_value_for
 
@@ -188,7 +187,6 @@ class DistributedRunner:
         Returns ``(patch, halo_rows, message_sizes, flops)``.
         """
         graph = self.graph
-        members = set(view.node_ids)
         halo_rows = 0
         msg_sizes: list[int] = []
         flops = 0.0

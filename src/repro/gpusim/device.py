@@ -10,9 +10,10 @@ execution exploits), and finally call :meth:`finish` to obtain the
 Observability: the device maintains per-worker lane clocks and stamps every
 submitted task with an issue-order ``(start_s, end_s)`` from the
 ``spec.task_time`` model, so each run yields a timeline.  Attached observers
-(see :mod:`repro.profiling`) are notified of allocations, task submissions
-(with the task's own counter delta), synchronizations, attribution scopes,
-and run completion.  The timeline is an *issue-order* view for tracing; the
+(see :mod:`repro.profiling`) are notified of allocations and discards, task
+submissions (with the task's own counter delta), functional kernel values
+(:meth:`note_values`), synchronizations, attribution scopes, and run
+completion.  The timeline is an *issue-order* view for tracing; the
 authoritative end-to-end time remains the :class:`TimeBreakdown` makespan
 model, which additionally accounts for memory/compute overlap.
 """
@@ -152,6 +153,16 @@ class Device:
                       "atomics_compulsory", "atomics_conflict")}
             for obs in self.observers:
                 obs.on_task_submit(self, task, delta)
+
+    def note_values(self, task: Task | None, node_id: int | None, values) -> None:
+        """Announce a functional-mode kernel result to the observers.
+
+        Pure observability: no counters move.  Executors call this with the
+        NumPy patch a task computed so value-level observers (the numeric
+        sanitizer) can screen outputs with (node, subgraph, brick) identity.
+        """
+        for obs in self.observers:
+            obs.on_task_values(self, task, node_id, values)
 
     def synchronize(self) -> None:
         """Record one device-wide synchronization barrier."""

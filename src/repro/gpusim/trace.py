@@ -12,9 +12,21 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 
-__all__ = ["Buffer", "Access", "Task"]
+__all__ = ["Buffer", "Access", "Task", "buffer_token", "brick_token"]
 
 _buffer_ids = itertools.count()
+
+
+def buffer_token(buffer: "Buffer") -> tuple:
+    """Synchronization token covering a whole buffer (kernel-launch edges:
+    a producing kernel completed before the consuming kernel launched)."""
+    return ("buf", buffer.buffer_id)
+
+
+def brick_token(buffer: "Buffer", offset: int) -> tuple:
+    """Synchronization token for one brick (the memoized 0->1->2 CAS
+    protocol: release on completion, acquire on a tag-checked read)."""
+    return ("brick", buffer.buffer_id, offset)
 
 
 @dataclass(frozen=True)
@@ -105,6 +117,34 @@ class Access:
             end += (c - 1) * s
         return end
 
+    def byte_intervals(self, max_segments: int = 65536) -> tuple[list[tuple[int, int]], bool]:
+        """The ``(start, end)`` byte ranges this access touches, merged.
+
+        Returns ``(intervals, exact)``.  A contiguous access produces one
+        interval; a strided access produces one per innermost segment with
+        overlapping/adjacent segments merged.  Accesses wider than
+        ``max_segments`` fall back to the conservative hull
+        ``[offset, offset + span)`` with ``exact=False`` -- callers that
+        need exactness (the sanitizers) treat hull intervals as approximate.
+        """
+        if not self.reps or self.nbytes == 0:
+            return [(self.offset, self.offset + self.nbytes)], True
+        if self.segments > max_segments:
+            return [(self.offset, self.offset + self.span)], False
+        starts = [self.offset]
+        for count, stride in self.reps:
+            starts = [s + i * stride for s in starts for i in range(count)]
+        starts.sort()
+        merged: list[tuple[int, int]] = []
+        for s in starts:
+            e = s + self.nbytes
+            if merged and s <= merged[-1][1]:
+                if e > merged[-1][1]:
+                    merged[-1] = (merged[-1][0], e)
+            else:
+                merged.append((s, e))
+        return merged, True
+
 
 @dataclass
 class Task:
@@ -125,10 +165,21 @@ class Task:
       by the device at submit time if the executor did not choose one);
     * ``start_s`` / ``end_s`` -- issue-order timeline position, assigned by
       the device from the ``spec.task_time`` model;
-    * ``brick`` / ``batch_index`` -- for brick-granular tasks (the memoized
-      executor), the grid position and batch sample this task computes:
+    * ``brick`` / ``batch_index`` -- for brick-granular tasks (the merged
+      executors), the grid position and batch sample this task computes:
       the identity the trace-replay checker uses to assert the
       exactly-once and happens-before protocol properties.
+
+    Synchronization edges (consumed by the execution sanitizer's
+    happens-before race detector, :mod:`repro.sanitize`):
+
+    * ``acquires`` -- tokens whose latest release this task synchronized
+      with before reading (the consumer side of a memoized tag check, or
+      the implicit kernel-launch ordering against an earlier conversion
+      kernel's output buffer);
+    * ``releases`` -- tokens this task publishes on completion (the
+      producer side: the release CAS of a memoized brick, or a whole
+      output buffer at a kernel boundary).
     """
 
     label: str
@@ -146,6 +197,17 @@ class Task:
     end_s: float | None = None
     brick: tuple[int, ...] | None = None
     batch_index: int | None = None
+    acquires: list[tuple] = field(default_factory=list)
+    releases: list[tuple] = field(default_factory=list)
+
+    def acquire(self, token: tuple) -> None:
+        """Stamp an acquire edge: this task synchronized with ``token``'s
+        latest release before reading the data it guards."""
+        self.acquires.append(token)
+
+    def release(self, token: tuple) -> None:
+        """Stamp a release edge: this task publishes ``token`` on completion."""
+        self.releases.append(token)
 
     @property
     def duration_s(self) -> float:

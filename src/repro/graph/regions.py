@@ -157,6 +157,11 @@ class Region(tuple):
 
     def contains(self, other: "Region") -> bool:
         self._check_rank(other)
+        # An empty region is the empty set regardless of which dimension is
+        # empty, so it is contained in everything (the per-interval check
+        # alone would miss emptiness carried by a *different* dimension).
+        if other.is_empty():
+            return True
         return all(a.contains(b) for a, b in zip(self, other))
 
     def slices(self, origin: Sequence[int] | None = None) -> tuple[slice, ...]:

@@ -24,9 +24,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import GraphError
 from repro.graph.ir import Graph, Node
-from repro.graph.ops import BatchNorm, Bias, Conv, InputOp
+from repro.graph.ops import BatchNorm, Bias, Conv
 
 __all__ = [
     "fold_batchnorm",

@@ -14,7 +14,7 @@ analysis walks each subgraph in reverse composing receptive-field maps
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Iterable
 
 from repro.errors import GraphError
 from repro.graph.ir import Graph, Node

@@ -53,16 +53,16 @@ def build_deepcam(
 
     # ASPP: parallel dilated 3x3 branches + 1x1 branch, concatenated.
     branches = []
-    px = b.conv(c64, 1, bias=False, src=bottom, name="aspp/point")
-    px = b.batchnorm(name="aspp/point_bn")
+    b.conv(c64, 1, bias=False, src=bottom, name="aspp/point")
+    b.batchnorm(name="aspp/point_bn")
     branches.append(b.relu(name="aspp/point_relu"))
     for rate in aspp_rates:
-        x = b.conv(c64, 3, padding=rate, dilation=rate, bias=False, src=bottom, name=f"aspp/rate{rate}")
-        x = b.batchnorm(name=f"aspp/rate{rate}_bn")
+        b.conv(c64, 3, padding=rate, dilation=rate, bias=False, src=bottom, name=f"aspp/rate{rate}")
+        b.batchnorm(name=f"aspp/rate{rate}_bn")
         branches.append(b.relu(name=f"aspp/rate{rate}_relu"))
-    x = b.concat(branches, name="aspp/concat")
-    x = b.conv(c256, 1, bias=False, name="aspp/fuse")
-    x = b.batchnorm(name="aspp/fuse_bn")
+    b.concat(branches, name="aspp/concat")
+    b.conv(c256, 1, bias=False, name="aspp/fuse")
+    b.batchnorm(name="aspp/fuse_bn")
     b.relu(name="aspp/fuse_relu")
 
     # Decoder: three stride-2 deconvolutions back to full resolution.

@@ -31,8 +31,8 @@ def build_vgg16(
     for si, (channels, reps) in enumerate(stages, start=1):
         c = scaled(channels, width_scale)
         for ri in range(1, reps + 1):
-            x = b.conv(c, 3, padding=1, name=f"conv{si}_{ri}")
-            x = b.relu(name=f"relu{si}_{ri}")
+            b.conv(c, 3, padding=1, name=f"conv{si}_{ri}")
+            b.relu(name=f"relu{si}_{ri}")
         b.maxpool(2, name=f"pool{si}")
 
     b.flatten(name="flatten")

@@ -18,7 +18,7 @@ residual bucket, so the rollups reconcile exactly with the run's
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Mapping
 
 from repro.profiling.observer import DeviceObserver

@@ -52,6 +52,14 @@ class DeviceObserver:
                        delta: Mapping[str, int]) -> None:
         """A task ran through the memory hierarchy and joined the timeline."""
 
+    def on_task_values(self, device: "Device", task: "Task | None",
+                       node_id: int | None, values) -> None:
+        """A functional-mode kernel produced ``values`` (a NumPy array) for
+        graph node ``node_id``.  ``task`` is the producing task when the
+        values are brick-granular (carrying ``brick``/``batch_index``
+        identity), or None for whole-tensor fallback kernels.  Only emitted
+        in functional mode; profile runs never see this hook."""
+
     def on_sync(self, device: "Device", time_s: float) -> None:
         """A device-wide synchronization barrier was recorded."""
 

@@ -122,7 +122,6 @@ class TestReplay:
         plan, trace = resnet_run
         memo = self._memo_records(trace)
         # Find a consumer whose producer is another memoized record.
-        producers = {(r.node_id, r.brick, r.batch_index): r for r in memo}
         graph = plan.graph
         swap = None
         for r in memo:

@@ -6,7 +6,6 @@ import pytest
 from repro.baselines import CudnnBaseline, TorchScriptBaseline, XlaBaseline, fuse_graph
 from repro.baselines.tiled import slab_tiles, spatial_tiles, adaptive_tiles
 from repro.core.reference import ReferenceExecutor
-from repro.graph.regions import Region
 
 from testlib import input_for, residual_graph, small_chain_graph
 

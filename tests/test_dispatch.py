@@ -22,7 +22,7 @@ from repro.graph.ops import (
     Pool,
     Softmax,
 )
-from repro.graph.regions import Interval, Region
+from repro.graph.regions import Region
 from repro.graph.tensorspec import TensorSpec
 from repro.kernels import apply_node_full, apply_node_local, pad_value_for
 

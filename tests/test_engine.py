@@ -118,7 +118,7 @@ class TestRun:
 
     def test_memoized_emits_atomics_padded_does_not(self):
         g = small_chain_graph(size=48)
-        rm = BrickDLEngine(small_chain_graph(size=48), strategy_override=Strategy.MEMOIZED).run(
+        rm = BrickDLEngine(g, strategy_override=Strategy.MEMOIZED).run(
             inputs=None, functional=False)
         rp = BrickDLEngine(small_chain_graph(size=48), strategy_override=Strategy.PADDED).run(
             inputs=None, functional=False)

@@ -31,7 +31,6 @@ def build_subgraph_fixture(make_graph, member_names, brick=(4, 4), seed=0):
     entries = {}
     for eid in view.entry_ids:
         node = g.node(eid)
-        arr = refs[node.name][None] if refs[node.name].ndim == len(node.spec.shape) - 1 else refs[node.name]
         bt = BrickedTensor.from_dense(refs[node.name], brick)
         buf = device.allocate(node.name, bt.nbytes)
         entries[eid] = BrickedHandle(spec=node.spec, grid=bt.grid, buffer=buf, data=bt)

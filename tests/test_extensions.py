@@ -5,7 +5,7 @@ import numpy as np
 import pytest
 
 from repro.bench.proxies import conv_chain_3d
-from repro.core.brick import BrickMap, morton_map, morton_permutation
+from repro.core.brick import morton_map, morton_permutation
 from repro.core.bricked import BrickedTensor
 from repro.core.engine import BrickDLEngine
 from repro.core.plan import Strategy
@@ -67,7 +67,7 @@ class TestWavefront:
 
     def test_no_atomics_exactly_once(self):
         g = chain_2d(3, 24)
-        res = BrickDLEngine(chain_2d(3, 24), strategy_override=Strategy.WAVEFRONT,
+        res = BrickDLEngine(g, strategy_override=Strategy.WAVEFRONT,
                             brick_override=4, layer_schedule=(3,)).run(
                             inputs=None, functional=False)
         assert res.metrics.atomics.total == 0

@@ -1,12 +1,11 @@
 """Simulated-GPU substrate tests: caches, memory system, timing, device."""
 
-import numpy as np
 import pytest
 
 from repro.gpusim.atomics import AtomicCounters, cas_microbenchmark_time
 from repro.gpusim.cache import SectorCache
 from repro.gpusim.device import Device
-from repro.gpusim.memory import AnalyticResidency, MemorySystem
+from repro.gpusim.memory import AnalyticResidency, MemorySystem, _lines, _txns
 from repro.gpusim.spec import A100, GPUSpec
 from repro.gpusim.timing import compute_breakdown, schedule_makespan
 from repro.gpusim.trace import Access, Buffer, Task
@@ -194,6 +193,50 @@ class TestDevice:
     def test_atomic_microbenchmark_matches_paper(self):
         _, per_op = cas_microbenchmark_time(A100)
         assert per_op * 1e9 == pytest.approx(87.45, rel=1e-6)
+
+
+class TestLineArithmetic:
+    """Direct unit tests for the 32 B line/transaction helpers, including the
+    unaligned and zero-length edge cases every counter rests on."""
+
+    def test_zero_and_negative_length(self):
+        assert _lines(0, 0, 32) == 0
+        assert _lines(100, -4, 32) == 0
+        assert _txns(0, 32) == 0
+        assert _txns(-4, 32) == 0
+
+    def test_aligned_exact(self):
+        assert _lines(0, 32, 32) == 1
+        assert _lines(64, 64, 32) == 2
+        assert _txns(32, 32) == 1
+        assert _txns(64, 32) == 2
+
+    def test_unaligned_straddle(self):
+        # 2 bytes crossing a line boundary touch 2 lines but 1 transaction's
+        # worth of data -- the alignment-overfetch asymmetry.
+        assert _lines(31, 2, 32) == 2
+        assert _txns(2, 32) == 1
+
+    def test_single_byte(self):
+        assert _lines(0, 1, 32) == 1
+        assert _lines(31, 1, 32) == 1
+        assert _lines(32, 1, 32) == 1
+        assert _txns(1, 32) == 1
+
+    def test_unaligned_within_one_line(self):
+        assert _lines(5, 20, 32) == 1
+
+    def test_txns_is_ceil_div(self):
+        for nbytes in (1, 31, 32, 33, 63, 64, 65, 1000):
+            assert _txns(nbytes, 32) == -(-nbytes // 32)
+
+    def test_lines_bounds_txns(self):
+        # Lines touched >= transactions needed, and never by more than one.
+        for offset in range(0, 40):
+            for nbytes in range(1, 100):
+                lines = _lines(offset, nbytes, 32)
+                txns = _txns(nbytes, 32)
+                assert txns <= lines <= txns + 1
 
 
 class TestAccessValidation:

@@ -1,6 +1,5 @@
 """Graph IR and builder tests."""
 
-import numpy as np
 import pytest
 
 from repro.errors import GraphError, ShapeError

@@ -1,7 +1,6 @@
 """Model zoo tests: all seven networks build, shape-check, and (reduced)
 run identically under the reference executor, BrickDL and the baseline."""
 
-import math
 
 import numpy as np
 import pytest

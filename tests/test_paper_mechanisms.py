@@ -7,7 +7,6 @@ synchronization structure, and mixed-precision memory behavior.
 """
 
 import numpy as np
-import pytest
 
 from repro.baselines import fuse_graph
 from repro.bench.harness import run_brickdl

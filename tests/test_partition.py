@@ -1,11 +1,9 @@
 """Graph partitioning tests (section 3.3.1)."""
 
-import math
 
 import pytest
 
 from repro.core.partition import merged_footprint_bytes, partition_graph
-from repro.core.perfmodel import PerfModelConfig
 from repro.graph.builder import GraphBuilder
 from repro.graph.tensorspec import TensorSpec
 from repro.gpusim.spec import A100, GPUSpec

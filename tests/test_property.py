@@ -2,7 +2,6 @@
 merged-execution correctness invariant."""
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
@@ -41,6 +40,70 @@ class TestIntervalAlgebra:
     def test_clip_within_bounds(self, iv, extent):
         c = iv.clip(extent)
         assert c.lo >= 0 and c.hi <= extent
+
+
+regions = st.tuples(intervals, intervals).map(Region)
+offsets = st.tuples(st.integers(-15, 15), st.integers(-15, 15))
+extents = st.tuples(st.integers(1, 30), st.integers(1, 30))
+
+
+class TestRegionAlgebra:
+    @given(regions, regions)
+    def test_intersection_commutes(self, a, b):
+        x, y = a.intersect(b), b.intersect(a)
+        assert x.is_empty() == y.is_empty()
+        if not x.is_empty():
+            assert x == y
+
+    @given(regions)
+    def test_intersection_idempotent(self, r):
+        assert r.intersect(r) == r
+
+    @given(regions, regions)
+    def test_intersection_contained_in_both(self, a, b):
+        x = a.intersect(b)
+        assert a.contains(x) and b.contains(x)
+
+    @given(regions, regions)
+    def test_hull_contains_both(self, a, b):
+        h = a.hull(b)
+        assert h.contains(a) and h.contains(b)
+
+    @given(regions, offsets)
+    def test_shift_round_trip(self, r, o):
+        assert r.shift(o).shift(tuple(-x for x in o)) == r
+
+    @given(regions, offsets)
+    def test_shift_preserves_shape(self, r, o):
+        assert r.shift(o).shape == r.shape
+
+    @given(regions, extents)
+    def test_clip_is_intersection_with_box(self, r, e):
+        clipped = r.clip(e)
+        boxed = r.intersect(Region.from_extents(e))
+        assert clipped.is_empty() == boxed.is_empty()
+        if not clipped.is_empty():
+            assert clipped == boxed
+
+    @given(regions)
+    def test_size_is_product_of_shape(self, r):
+        assert r.size == int(np.prod(r.shape))
+        assert r.is_empty() == (r.size == 0)
+
+    @given(regions)
+    def test_empty_propagates_through_intersection(self, r):
+        empty = Region((Interval(0, 0), Interval(0, 0)))
+        assert r.intersect(empty).is_empty()
+        # ...but not through hull, which ignores the empty operand.
+        assert r.hull(empty).is_empty() == r.is_empty()
+
+    @given(regions, regions, regions)
+    def test_intersection_associative(self, a, b, c):
+        x = a.intersect(b).intersect(c)
+        y = a.intersect(b.intersect(c))
+        assert x.is_empty() == y.is_empty()
+        if not x.is_empty():
+            assert x == y
 
 
 stencils = st.builds(
