@@ -18,6 +18,8 @@ the paper plots:
 
 from __future__ import annotations
 
+import os
+import pathlib
 from dataclasses import dataclass
 
 from repro.baselines.cudnn import CudnnBaseline
@@ -59,6 +61,22 @@ _FIG10_SIZE = {"small": 56, "half": 112, "full": 112}
 _FIG11_SIZE = {"small": 112, "half": 112, "full": 224}
 
 
+def _manifest_path(manifest_dir: "str | os.PathLike | None",
+                   stem: str) -> pathlib.Path | None:
+    """Per-run manifest destination inside a figure's output directory.
+
+    The drivers persist one :class:`~repro.metrics.RunManifest` per BrickDL
+    configuration so every plotted bar carries plan/spec provenance; ``None``
+    (no directory) disables recording.
+    """
+    if manifest_dir is None:
+        return None
+    directory = pathlib.Path(manifest_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    safe = stem.replace("+", "-").replace("/", "_").replace(" ", "_")
+    return directory / f"{safe}.manifest.json"
+
+
 def _model_kwargs(name: str, scale: str) -> dict:
     if name == "resnet3d34":
         return {"clip": _CLIP_SIZE[scale]}
@@ -90,6 +108,7 @@ def fig7_end_to_end(
     models: tuple[str, ...] = FIG7_MODEL_ORDER,
     spec: GPUSpec = A100,
     scale: str | None = None,
+    manifest_dir: "str | os.PathLike | None" = None,
 ) -> FigureResult:
     """Seven models under cuDNN / BrickDL / TorchScript / XLA."""
     scale = scale or scale_preset()
@@ -97,7 +116,8 @@ def fig7_end_to_end(
     for name in models:
         graph_for = lambda: zoo.MODELS[name](**_model_kwargs(name, scale))
         rows = [run_conventional(CudnnBaseline, graph_for(), spec=spec)]
-        brick_row, _ = run_brickdl(graph_for(), spec=spec, label="brickdl")
+        brick_row, _ = run_brickdl(graph_for(), spec=spec, label="brickdl",
+                                   manifest=_manifest_path(manifest_dir, f"fig7__{name}__brickdl"))
         rows.append(brick_row)
         rows.append(run_conventional(TorchScriptBaseline, graph_for(), spec=spec))
         rows.append(run_conventional(XlaBaseline, graph_for(), spec=spec))
@@ -135,6 +155,7 @@ def fig8_resnet_case_study(
     scale: str | None = None,
     num_subgraphs: int = 7,
     config: PerfModelConfig = DEFAULT_CONFIG,
+    manifest_dir: "str | os.PathLike | None" = None,
 ) -> FigureResult:
     """First ``num_subgraphs`` merged ResNet-50 subgraphs under
     cuDNN / padded / memoized (each subgraph run in isolation)."""
@@ -156,6 +177,7 @@ def fig8_resnet_case_study(
                 brick=brick,
                 layer_schedule=(len(sub.subgraph),),
                 label=strategy.value,
+                manifest=_manifest_path(manifest_dir, f"fig8__sub{i}__{strategy.value}"),
             )
             rows.append(row)
         chosen = sub.strategy.value
@@ -164,15 +186,26 @@ def fig8_resnet_case_study(
 
 
 def fig9_data_movement(fig8: FigureResult) -> str:
-    """Fig. 9's normalized transaction counts, derived from the Fig. 8 runs."""
-    headers = ["subgraph", "strategy", "L1 vs cudnn", "L2 vs cudnn", "DRAM vs cudnn"]
+    """Fig. 9's normalized transaction counts, derived from the Fig. 8 runs.
+
+    DRAM traffic is reported both folded and split read/write: the paper's
+    Fig. 9 separates the two, and merged execution moves them differently
+    (reads drop with reuse, writes with on-device intermediate death).
+    """
+    headers = ["subgraph", "strategy", "L1 vs cudnn", "L2 vs cudnn", "DRAM vs cudnn",
+               "DRAM rd vs cudnn", "DRAM wr vs cudnn"]
+
+    def fmt(x: float) -> str:
+        return "n/a" if x != x else f"{x:.3f}"  # NaN: zero-count baseline
+
     rows = []
     for group, bars in fig8.groups.items():
         base = bars[0]
         for r in bars[1:]:
             n = r.normalized_to(base)
             rows.append([group.split(" (")[0], r.label,
-                         f"{n['l1_txns']:.3f}", f"{n['l2_txns']:.3f}", f"{n['dram_txns']:.3f}"])
+                         fmt(n["l1_txns"]), fmt(n["l2_txns"]), fmt(n["dram_txns"]),
+                         fmt(n["dram_read_txns"]), fmt(n["dram_write_txns"])])
     return format_table(headers, rows, title="Fig. 9 ResNet-50 data movement (relative to cuDNN)")
 
 
@@ -192,6 +225,7 @@ def fig10_subgraph_size(
     spec: GPUSpec = A100,
     scale: str | None = None,
     brick: int = 8,
+    manifest_dir: "str | os.PathLike | None" = None,
 ) -> FigureResult:
     scale = scale or scale_preset()
     size = _FIG10_SIZE[scale]
@@ -207,6 +241,7 @@ def fig10_subgraph_size(
                 brick=brick,
                 layer_schedule=schedule,
                 label=f"{label} {strategy.value}",
+                manifest=_manifest_path(manifest_dir, f"fig10__{label}__{strategy.value}"),
             )
             rows.append(row)
     return FigureResult(
@@ -223,6 +258,7 @@ def fig11_brick_size(
     spec: GPUSpec = A100,
     scale: str | None = None,
     bricks: tuple[int, ...] = (4, 8, 16, 32),
+    manifest_dir: "str | os.PathLike | None" = None,
 ) -> FigureResult:
     scale = scale or scale_preset()
     size = _FIG11_SIZE[scale]
@@ -238,6 +274,7 @@ def fig11_brick_size(
                 brick=brick,
                 layer_schedule=(3,),
                 label=f"B{brick} {strategy.value}",
+                manifest=_manifest_path(manifest_dir, f"fig11__B{brick}__{strategy.value}"),
             )
             rows.append(row)
     return FigureResult(

@@ -33,7 +33,8 @@ from repro.graph.ir import Graph
 from repro.gpusim.device import Device
 from repro.gpusim.spec import A100, GPUSpec
 
-__all__ = ["scale_preset", "run_brickdl", "run_conventional", "adapt_sectors"]
+__all__ = ["scale_preset", "run_brickdl", "run_conventional", "adapt_sectors",
+           "record_bench_manifest"]
 
 _SCALES = ("small", "half", "full")
 
@@ -76,6 +77,7 @@ def run_brickdl(
     label: str | None = None,
     trace: "str | os.PathLike | None" = None,
     verify: bool = False,
+    manifest: "str | os.PathLike | None" = None,
 ) -> tuple[BreakdownRow, ExecutionPlan]:
     """Profile one BrickDL configuration; returns (row, plan).
 
@@ -84,7 +86,9 @@ def run_brickdl(
     turns on the engine's strict mode: the compiled plan is checked against
     the analysis passes (:mod:`repro.analysis`) and the run's trace is
     replay-verified, so a benchmark number can only come from a run the
-    checkers accept.
+    checkers accept.  ``manifest`` optionally names a file to receive the
+    run's :class:`~repro.metrics.RunManifest` (spec + plan digest + full
+    metric dump), the record the perf-diff gate compares across commits.
     """
     engine = BrickDLEngine(
         graph,
@@ -104,7 +108,49 @@ def run_brickdl(
         write_trace(result.trace, trace,
                     names={n.node_id: n.name for n in graph.nodes})
     name = label or (f"brickdl/{strategy.value}" if strategy else "brickdl")
+    if manifest is not None:
+        from repro.metrics import manifest_from_result
+
+        manifest_from_result(
+            graph.name, result, device.spec, label=name, scale=scale_preset(),
+        ).save(manifest)
     return BreakdownRow.from_metrics(name, result.metrics), plan
+
+
+def record_bench_manifest(
+    model: str,
+    out_dir: "str | os.PathLike" = ".",
+    spec: GPUSpec = A100,
+    config: PerfModelConfig = DEFAULT_CONFIG,
+    strategy: Strategy | None = None,
+    brick: int | None = None,
+    label: str | None = None,
+    **build_kwargs,
+):
+    """Record one zoo model's run as a ``BENCH_<model>[__<label>].json`` manifest.
+
+    This is the trajectory entry point: the ``repro metrics record`` CLI and
+    the CI perf-smoke job both come through here, so a committed baseline and
+    a fresh CI run are produced by the same code path.  Returns
+    ``(manifest, path)``.
+    """
+    from repro.metrics import bench_manifest_path, manifest_from_result
+    from repro.models import zoo
+
+    graph = zoo.build(model, **build_kwargs)
+    engine = BrickDLEngine(graph, spec=spec, config=config,
+                           strategy_override=strategy, brick_override=brick)
+    plan = engine.compile()
+    device = Device(adapt_sectors(spec, plan))
+    result = engine.run(inputs=None, functional=False, device=device, plan=plan)
+    if label is None:
+        label = strategy.value if strategy else ""
+    manifest = manifest_from_result(
+        model, result, device.spec, label=label, scale=scale_preset(),
+        build_args=build_kwargs,
+    )
+    path = manifest.save(bench_manifest_path(model, out_dir, label=label))
+    return manifest, path
 
 
 def run_conventional(

@@ -34,6 +34,10 @@ class BreakdownRow:
     num_tasks: int
     atomics_compulsory_count: int
     atomics_conflict_count: int
+    # Fig. 9 plots reads and writes separately; defaulted so hand-built rows
+    # (tests, ad-hoc tables) stay valid without the split.
+    dram_read_txns: int = 0
+    dram_write_txns: int = 0
 
     @classmethod
     def from_metrics(cls, label: str, metrics: RunMetrics) -> "BreakdownRow":
@@ -53,6 +57,8 @@ class BreakdownRow:
             num_tasks=metrics.num_tasks,
             atomics_compulsory_count=metrics.atomics.compulsory,
             atomics_conflict_count=metrics.atomics.conflict,
+            dram_read_txns=metrics.memory.dram_read_txns,
+            dram_write_txns=metrics.memory.dram_write_txns,
         )
 
     def normalized_to(self, baseline: "BreakdownRow") -> dict[str, float]:
@@ -66,6 +72,8 @@ class BreakdownRow:
             "l1_txns": ratio(self.l1_txns, baseline.l1_txns),
             "l2_txns": ratio(self.l2_txns, baseline.l2_txns),
             "dram_txns": ratio(self.dram_txns, baseline.dram_txns),
+            "dram_read_txns": ratio(self.dram_read_txns, baseline.dram_read_txns),
+            "dram_write_txns": ratio(self.dram_write_txns, baseline.dram_write_txns),
         }
 
 
@@ -90,7 +98,7 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]], title
 def format_breakdowns(rows: Sequence[BreakdownRow], title: str = "", relative_to: BreakdownRow | None = None) -> str:
     """The paper's breakdown-bar data as a table (times in ms)."""
     headers = ["config", "total", "dram", "idle", "compute", "atomics(c)", "atomics(x)", "other",
-               "L1 txn", "L2 txn", "DRAM txn", "tasks"]
+               "L1 txn", "L2 txn", "DRAM txn", "DRAM rd", "DRAM wr", "tasks"]
     if relative_to is not None:
         headers.insert(1, "vs base")
     table_rows = []
@@ -99,7 +107,8 @@ def format_breakdowns(rows: Sequence[BreakdownRow], title: str = "", relative_to
                f"{r.total * 1e3:.3f}", f"{r.dram * 1e3:.3f}", f"{r.idle * 1e3:.3f}",
                f"{r.compute * 1e3:.3f}", f"{r.atomics_compulsory * 1e3:.3f}",
                f"{r.atomics_conflict * 1e3:.3f}", f"{r.other * 1e3:.3f}",
-               r.l1_txns, r.l2_txns, r.dram_txns, r.num_tasks]
+               r.l1_txns, r.l2_txns, r.dram_txns,
+               r.dram_read_txns, r.dram_write_txns, r.num_tasks]
         if relative_to is not None:
             row.insert(1, f"{r.total / relative_to.total:.3f}")
         table_rows.append(row)

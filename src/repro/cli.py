@@ -10,6 +10,8 @@ Usage::
     python -m repro.cli sanitize vgg16 --reduced --strategy memoized
     python -m repro.cli tune vgg16 --image-size 96
     python -m repro.cli fig 10            # run an evaluation figure driver
+    python -m repro.cli metrics record vgg16 --reduced --strategy padded
+    python -m repro.cli metrics diff baseline.json fresh.json
     python -m repro.cli microbench
 """
 
@@ -211,23 +213,97 @@ def cmd_tune(args) -> int:
 
 
 def cmd_fig(args) -> int:
+    import pathlib
+
     from repro.bench import figures
 
+    # Persist by default: the rendered table plus one run manifest per
+    # BrickDL configuration (plan/spec provenance) land next to each other
+    # under --out.  --no-save restores the old print-only behavior.
+    out_dir = None if args.no_save else pathlib.Path(args.out) / f"fig{args.number}"
+
     if args.number == 7:
-        result = figures.fig7_end_to_end()
-        print(figures.fig7_summary_table(result))
+        result = figures.fig7_end_to_end(manifest_dir=out_dir)
+        text = figures.fig7_summary_table(result)
     elif args.number == 8:
-        print(figures.fig8_resnet_case_study().render())
+        text = figures.fig8_resnet_case_study(manifest_dir=out_dir).render()
     elif args.number == 9:
-        print(figures.fig9_data_movement(figures.fig8_resnet_case_study()))
+        text = figures.fig9_data_movement(figures.fig8_resnet_case_study(manifest_dir=out_dir))
     elif args.number == 10:
-        print(figures.fig10_subgraph_size().render())
+        text = figures.fig10_subgraph_size(manifest_dir=out_dir).render()
     elif args.number == 11:
-        print(figures.fig11_brick_size().render())
+        text = figures.fig11_brick_size(manifest_dir=out_dir).render()
     else:
         print(f"no driver for figure {args.number} (evaluation figures are 7-11)", file=sys.stderr)
         return 2
+    print(text)
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+        table_path = out_dir / f"fig{args.number}.txt"
+        table_path.write_text(text + "\n")
+        manifests = sorted(out_dir.glob("*.manifest.json"))
+        print(f"\nwrote {table_path} and {len(manifests)} run manifest(s) to {out_dir}/")
     return 0
+
+
+def cmd_metrics(args) -> int:
+    from repro.metrics import RunManifest
+
+    if args.action == "record":
+        from repro.bench.harness import record_bench_manifest
+        from repro.core.plan import Strategy
+
+        strategy = Strategy(args.strategy) if args.strategy else None
+        build_kwargs = {}
+        if args.reduced:
+            build_kwargs["reduced"] = True
+        if args.image_size:
+            build_kwargs["image_size"] = args.image_size
+        manifest, path = record_bench_manifest(
+            args.model, out_dir=args.out, strategy=strategy, brick=args.brick,
+            label=args.label, **build_kwargs)
+        print(manifest.summary())
+        print(f"wrote {path}")
+        return 0
+
+    if args.action == "report":
+        for name in args.manifests:
+            manifest = RunManifest.load(name)
+            print(manifest.summary())
+            run = manifest.bottleneck.get("run", {})
+            if run:
+                shares = run.get("shares", {})
+                print("  components: " + "  ".join(
+                    f"{k}={shares.get(k, 0.0):.1%}" for k in ("dram", "compute", "atomic", "idle")))
+                roof = run.get("roofline", {})
+                if roof:
+                    print(f"  roofline: AI={roof.get('arithmetic_intensity', 0.0):.2f} flop/B "
+                          f"(ridge {roof.get('ridge_intensity', 0.0):.2f}), "
+                          f"achieved {roof.get('achieved_flops', 0.0) / 1e9:.1f} / "
+                          f"attainable {roof.get('attainable_flops', 0.0) / 1e9:.1f} GFLOP/s")
+                print(f"  speedup ceiling (remove {run.get('bound', '?')}): "
+                      f"{run.get('speedup_ceiling', 1.0):.2f}x")
+            if args.verbose and manifest.plan.get("subgraphs"):
+                for sub in manifest.plan["subgraphs"]:
+                    brick = "x".join(str(b) for b in sub.get("brick", [])) or "-"
+                    print(f"    subgraph {sub['index']}: {sub['strategy']:9s} "
+                          f"brick={brick:9s} ops={sub['num_ops']}")
+        return 0
+
+    # diff: the perf-smoke gate.  Exit 1 iff a tolerated metric regressed.
+    from repro.metrics import diff_manifests
+
+    tolerances = {}
+    for item in args.tolerance or ():
+        name, _, value = item.partition("=")
+        if not _ or not name:
+            print(f"--tolerance expects NAME=FRACTION, got {item!r}", file=sys.stderr)
+            return 2
+        tolerances[name] = float(value)
+    report = diff_manifests(RunManifest.load(args.base), RunManifest.load(args.new),
+                            tolerances=tolerances or None)
+    print(report.render(verbose=args.verbose))
+    return 1 if report.regressions else 0
 
 
 def cmd_microbench(args) -> int:
@@ -294,7 +370,42 @@ def build_parser() -> argparse.ArgumentParser:
 
     fig = sub.add_parser("fig", help="run an evaluation-figure driver (7-11)")
     fig.add_argument("number", type=int)
+    fig.add_argument("--out", default="results", metavar="DIR",
+                     help="directory for the rendered table + run manifests "
+                          "(default: results/fig<N>/)")
+    fig.add_argument("--no-save", action="store_true",
+                     help="print only; do not persist the table or manifests")
     fig.set_defaults(fn=cmd_fig)
+
+    met = sub.add_parser(
+        "metrics", help="record / report / diff run manifests (the perf gate)")
+    msub = met.add_subparsers(dest="action", required=True)
+    rec = msub.add_parser("record", help="run a zoo model and write BENCH_<model>.json")
+    rec.add_argument("model")
+    rec.add_argument("--strategy", choices=["padded", "memoized", "wavefront"], default=None)
+    rec.add_argument("--brick", type=int, default=None)
+    rec.add_argument("--image-size", type=int, default=None)
+    rec.add_argument("--reduced", action="store_true", help="use the test-scale config")
+    rec.add_argument("--out", default=".", metavar="DIR",
+                     help="directory for the manifest (default: cwd)")
+    rec.add_argument("--label", default=None,
+                     help="manifest label / filename suffix (default: the strategy)")
+    rec.set_defaults(fn=cmd_metrics)
+    rep = msub.add_parser("report", help="summarize recorded manifests")
+    rep.add_argument("manifests", nargs="+", metavar="MANIFEST.json")
+    rep.add_argument("--verbose", action="store_true",
+                     help="also list per-subgraph plan decisions")
+    rep.set_defaults(fn=cmd_metrics)
+    dif = msub.add_parser(
+        "diff", help="compare two manifests; exit 1 on tolerance-gated regression")
+    dif.add_argument("base", metavar="BASE.json")
+    dif.add_argument("new", metavar="NEW.json")
+    dif.add_argument("--tolerance", action="append", metavar="NAME=FRACTION",
+                     help="override a metric tolerance, e.g. memory.dram_txns=0.1 "
+                          "(repeatable)")
+    dif.add_argument("--verbose", action="store_true",
+                     help="list every compared metric, not just movements")
+    dif.set_defaults(fn=cmd_metrics)
 
     sub.add_parser("microbench", help="the section 4.3 calibration scalars").set_defaults(fn=cmd_microbench)
     return p

@@ -71,6 +71,10 @@ class EngineResult:
     # When the engine ran with ``sanitize=True``: the execution sanitizer's
     # AnalysisReport (shadow memory, happens-before, numeric screening).
     sanitizer_report: "AnalysisReport | None" = None
+    # The device's hierarchical metrics registry for the run (labels:
+    # model/strategy/brick/subgraph/node), consumed by run manifests and the
+    # exporters in :mod:`repro.metrics`.
+    registry: "MetricsRegistry | None" = None
 
     @property
     def total_time(self) -> float:
@@ -247,6 +251,7 @@ class BrickDLEngine:
         graph = self.graph
         plan = plan if plan is not None else self.compile()
         device = device if device is not None else Device(self.spec)
+        device.metrics_registry.set_base(model=graph.name)
         collector = next((o for o in device.observers if isinstance(o, TraceCollector)), None)
         if collector is None:
             collector = device.attach(TraceCollector())
@@ -273,7 +278,9 @@ class BrickDLEngine:
             remaining[n.node_id] += 1
 
         for sub in plan.subgraphs:
-            with device.scope(subgraph_index=sub.index, strategy=sub.strategy.value):
+            brick = "x".join(str(b) for b in sub.brick_shape) or None
+            with device.scope(subgraph_index=sub.index, strategy=sub.strategy.value,
+                              brick=brick):
                 for nid in sub.subgraph.node_ids:
                     wb = weight_buffers.get(nid)
                     if wb is not None:
@@ -312,7 +319,8 @@ class BrickDLEngine:
             )
         return EngineResult(outputs=outputs, metrics=metrics, plan=plan,
                             per_subgraph=collector.per_subgraph(len(plan.subgraphs)),
-                            trace=collector, sanitizer_report=san_report)
+                            trace=collector, sanitizer_report=san_report,
+                            registry=device.metrics_registry)
 
     # -- merged subgraphs ---------------------------------------------------
     def _run_merged(self, device, sub: SubgraphPlan, boundary, weight_buffers, functional) -> None:

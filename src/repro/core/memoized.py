@@ -100,6 +100,12 @@ class MemoizedBrickExecutor:
         self.total_conflicts = 0
         self.total_compulsory = 0
         self.total_visits = 0
+        # Memoization effectiveness: completed-tag observations (a consumer
+        # found its dependency already computed -- the "reuse" the strategy
+        # exists for) and protocol-coalesced brick re-reads (certified L2
+        # hits).  Both feed the metrics registry at the end of the run.
+        self.total_reuses = 0
+        self.coalesced_reads = 0
         # Consumer-coalescing brick LRU: the 3-state protocol synchronizes a
         # brick's consumers around its completion and the 108 workers run
         # truly concurrently, so re-reads within the *concurrent* working
@@ -167,6 +173,13 @@ class MemoizedBrickExecutor:
             ideal = sum(self._durations) / max(1, self.device.spec.num_sms)
             if wall > ideal:
                 self.device.add_overhead(wall - ideal)
+        reg = self.device.metrics_registry
+        reg.inc("memo_cas_retries", self.total_conflicts)
+        reg.inc("memo_compulsory_cas", self.total_compulsory)
+        reg.inc("memo_table_visits", self.total_visits)
+        reg.inc("memo_bricks_computed", len(self._durations))
+        reg.inc("memo_bricks_reused", self.total_reuses)
+        reg.inc("memo_coalesced_reads", self.coalesced_reads)
         self.device.synchronize()  # reduction across bricks at subgraph end
         return {eid: self.memo[eid] for eid in self.subgraph.exit_ids}
 
@@ -197,6 +210,7 @@ class MemoizedBrickExecutor:
                     w.queue.append((nid, gpos, batch))
                     return
                 # _COMPLETE: someone already made it; take the next goal.
+                self.total_reuses += 1
             return
 
         frame = w.stack[-1]
@@ -213,6 +227,7 @@ class MemoizedBrickExecutor:
             state = self._get_state(dnid, dgpos, frame.batch)
             self.total_visits += 1
             if state == _COMPLETE:
+                self.total_reuses += 1
                 continue
             if state == _IN_PROGRESS:
                 self.total_conflicts += self._spins_per_turn()
@@ -345,6 +360,8 @@ class MemoizedBrickExecutor:
         for gpos in source.grid.bricks_overlapping(need):
             offset = source.brick_offset(batch, gpos)
             hot = self._touch((source.buffer.buffer_id, offset))
+            if hot:
+                self.coalesced_reads += 1
             task.read(source.buffer, offset, source.brick_nbytes, assume_l2=hot)
 
     # -- dependencies -----------------------------------------------------------

@@ -78,6 +78,11 @@ class PaddedBrickExecutor:
         scratch = self._allocate_scratch()
         batch = graph.node(self.subgraph.node_ids[0]).spec.batch
 
+        # Redundancy accounting for the registry: elements computed on
+        # enlarged patches (vs the exact output volume) and halo bytes
+        # gathered from entry bricks -- the paper's delta in measured form.
+        self._compute_elems = 0
+        self._entry_read_bytes = 0
         task_index = 0
         for exit_id, handle in exits.items():
             for grid_pos in handle.bricks():
@@ -85,6 +90,9 @@ class PaddedBrickExecutor:
                     worker = task_index % self.device.spec.num_sms
                     self._run_brick(exit_id, handle, grid_pos, n, scratch[worker], worker)
                     task_index += 1
+        reg = self.device.metrics_registry
+        reg.inc("padded_compute_elems", self._compute_elems)
+        reg.inc("padded_entry_read_bytes", self._entry_read_bytes)
         # One reduction/synchronization closes the subgraph (Fig. 3(b)).
         self.device.synchronize()
         return exits
@@ -149,6 +157,8 @@ class PaddedBrickExecutor:
             self.entries[eid].emit_region_read(task, batch, required[eid])
             task.acquire(buffer_token(self.entries[eid].buffer))
             covered[eid] = required[eid].clip(graph.node(eid).spec.spatial)
+            espec = graph.node(eid).spec
+            self._entry_read_bytes += espec.channels * covered[eid].size * espec.itemsize
             if self.functional:
                 values[eid] = self.entries[eid].gather(batch, covered[eid])
 
@@ -193,6 +203,7 @@ class PaddedBrickExecutor:
                 task.write(scratch_buf, slots[nid], min(out_bytes, scratch_buf.nbytes - slots[nid]),
                            on_chip=True)
             task.flops += node.op.flops(input_specs, spec.channels * region.size)
+            self._compute_elems += spec.channels * region.size
             calls += 1
 
             if self.functional:

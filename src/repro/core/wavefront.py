@@ -156,6 +156,9 @@ class WavefrontBrickExecutor:
             # the memoized strategy's per-brick atomics).
             self.device.synchronize()
         self.num_waves = max_wave + 1
+        reg = self.device.metrics_registry
+        reg.inc("wavefront_waves", self.num_waves)
+        reg.gauge("wavefront_skew").set(self.skew)
         return {eid: self.memo[eid] for eid in self.subgraph.exit_ids}
 
     def _compute_brick(self, nid: int, gpos: tuple[int, ...], batch: int) -> None:

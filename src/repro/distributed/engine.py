@@ -89,6 +89,7 @@ class DistributedRunner:
         comm: CommModel | None = None,
         max_layers: int | None = None,
         layer_schedule: tuple[int, ...] | None = None,
+        registry=None,
     ) -> None:
         graph.validate()
         for node in graph.nodes:
@@ -110,6 +111,11 @@ class DistributedRunner:
         self.num_ranks = num_ranks
         self.spec = spec
         self.comm = comm if comm is not None else CommModel()
+        # Halo-exchange metrics: an explicitly passed registry wins; a comm
+        # model that already carries one keeps it.
+        if registry is not None:
+            self.comm.registry = registry
+            registry.set_base(model=graph.name)
         self.subgraphs = partition_graph(graph, spec, config, max_layers, layer_schedule)
 
     # -- execution ---------------------------------------------------------

@@ -40,6 +40,15 @@ class SectorCache:
         # key -> dirty byte count for that sector (0 = clean)
         self._lru: OrderedDict[tuple[int, int], int] = OrderedDict()
         self.evicted_dirty_bytes = 0
+        # Lifetime accounting (survives clear()/drain, feeds the metrics
+        # registry): every accessed byte lands in exactly one of hit/miss,
+        # and every dirty byte leaves through exactly one of evicted (LRU),
+        # flushed (write-back), or discarded (dropped without write-back).
+        self.hit_bytes_total = 0
+        self.miss_bytes_total = 0
+        self.evicted_dirty_bytes_total = 0
+        self.flushed_dirty_bytes = 0
+        self.discarded_dirty_bytes = 0
 
     def __len__(self) -> int:
         return len(self._lru)
@@ -76,17 +85,26 @@ class SectorCache:
                 if len(lru) > self.capacity_sectors:
                     _, evicted_dirty = lru.popitem(last=False)
                     self.evicted_dirty_bytes += evicted_dirty
+                    self.evicted_dirty_bytes_total += evicted_dirty
             else:
                 result.hit_bytes += span
                 lru.move_to_end(key)
                 if write:
                     lru[key] = min(self.sector_bytes, dirty + span)
+        self.hit_bytes_total += result.hit_bytes
+        self.miss_bytes_total += result.miss_bytes
         return result
 
     def discard(self, buffer_id: int) -> int:
-        """Drop all sectors of a buffer without write-back; returns count."""
+        """Drop all sectors of a buffer without write-back; returns count.
+
+        Dirty bytes dropped this way are attributed to
+        ``discarded_dirty_bytes`` (transient data dying on-device), never to
+        the flushed/evicted write-back totals.
+        """
         doomed = [k for k in self._lru if k[0] == buffer_id]
         for k in doomed:
+            self.discarded_dirty_bytes += self._lru[k]
             del self._lru[k]
         return len(doomed)
 
@@ -95,6 +113,7 @@ class SectorCache:
         dirty = sum(self._lru.values())
         for key in self._lru:
             self._lru[key] = 0
+        self.flushed_dirty_bytes += dirty
         return dirty
 
     def drain_evicted_dirty(self) -> int:
@@ -104,5 +123,19 @@ class SectorCache:
         return d
 
     def clear(self) -> None:
+        """Drop all state (lifetime totals are preserved: the per-task L1
+        reset and the streaming fast path both clear, and the registry reads
+        the totals after the run)."""
         self._lru.clear()
         self.evicted_dirty_bytes = 0
+
+    def stats(self) -> dict[str, int]:
+        """Lifetime byte accounting, for the metrics registry."""
+        return {
+            "hit_bytes": self.hit_bytes_total,
+            "miss_bytes": self.miss_bytes_total,
+            "evicted_dirty_bytes": self.evicted_dirty_bytes_total,
+            "flushed_dirty_bytes": self.flushed_dirty_bytes,
+            "discarded_dirty_bytes": self.discarded_dirty_bytes,
+            "resident_sectors": len(self._lru),
+        }

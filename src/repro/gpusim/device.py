@@ -29,8 +29,13 @@ from repro.gpusim.memory import MemoryCounters, MemorySystem
 from repro.gpusim.spec import A100, GPUSpec
 from repro.gpusim.timing import TimeBreakdown, compute_breakdown
 from repro.gpusim.trace import Buffer, Task
+from repro.metrics.registry import MetricsRegistry
 
 __all__ = ["Device", "RunMetrics"]
+
+# Per-task registry counters, in the order of the counter-delta tuple below.
+_TASK_METRICS = ("l1_txns", "l2_txns", "dram_read_txns", "dram_write_txns",
+                 "atomics_compulsory", "atomics_conflict")
 
 
 @dataclass(frozen=True)
@@ -55,11 +60,20 @@ class RunMetrics:
 class Device:
     """A simulated GPU for the duration of one execution run."""
 
-    def __init__(self, spec: GPUSpec = A100, observers: Iterable = ()) -> None:
+    def __init__(self, spec: GPUSpec = A100, observers: Iterable = (),
+                 registry: MetricsRegistry | None = None) -> None:
         self.spec = spec
         self.memory = MemorySystem(spec)
         self.atomics = AtomicCounters()
         self.observers: list = list(observers)
+        # Always-on metrics: every run leaves a labelled registry, whether or
+        # not anyone attached observers.  The engine passes a shared registry
+        # (with model/strategy/subgraph scopes); standalone devices own one.
+        self.metrics_registry = registry if registry is not None else MetricsRegistry()
+        # Resolved counter-handle rows per (context_token, node_id): label
+        # scopes change rarely relative to task submission, so the hot path
+        # is one dict hit plus attribute adds.
+        self._metric_rows: dict[tuple[int, int | None], tuple] = {}
         self._tasks: list[Task] = []
         self._sync_count = 0
         self._extra_overhead = 0.0
@@ -75,16 +89,21 @@ class Device:
 
     @contextmanager
     def scope(self, subgraph_index: int | None = None,
-              strategy: str | None = None) -> Iterator[None]:
+              strategy: str | None = None,
+              brick: str | None = None) -> Iterator[None]:
         """Attribution scope: tasks submitted inside are stamped with the
         plan entry and strategy (unless the executor set them already), and
-        observers can attribute out-of-task counter growth to the scope."""
+        observers can attribute out-of-task counter growth to the scope.
+        The metrics registry gets matching ``(strategy, brick, subgraph)``
+        default labels for everything recorded inside."""
         prev = self._scope
         self._scope = (subgraph_index, strategy)
         for obs in self.observers:
             obs.on_scope_begin(self, subgraph_index, strategy)
         try:
-            yield
+            with self.metrics_registry.label_scope(
+                    strategy=strategy, brick=brick, subgraph=subgraph_index):
+                yield
         finally:
             for obs in self.observers:
                 obs.on_scope_end(self, subgraph_index, strategy)
@@ -102,6 +121,8 @@ class Device:
             "l1_txns": c.l1_txns,
             "l2_txns": c.l2_txns,
             "dram_txns": c.dram_read_txns + c.dram_write_txns,
+            "dram_read_txns": c.dram_read_txns,
+            "dram_write_txns": c.dram_write_txns,
             "atomics_compulsory": self.atomics.compulsory,
             "atomics_conflict": self.atomics.conflict,
             "overhead_s": self._extra_overhead,
@@ -120,9 +141,24 @@ class Device:
             obs.on_discard(self, buffer)
 
     # -- execution -----------------------------------------------------------
+    def _metric_row(self, node_id: int | None) -> tuple:
+        """Resolve (and cache) the registry counter handles for a node under
+        the current label scope."""
+        reg = self.metrics_registry
+        key = (reg.context_token, node_id)
+        row = self._metric_rows.get(key)
+        if row is None:
+            row = tuple(reg.counter(name, node=node_id) for name in _TASK_METRICS)
+            row += (reg.counter("tasks", node=node_id),
+                    reg.counter("flops", node=node_id))
+            self._metric_rows[key] = row
+        return row
+
     def submit(self, task: Task) -> None:
         """Run one fine-grained kernel invocation through the hierarchy."""
-        before = self.counter_state() if self.observers else None
+        c = self.memory.counters
+        before = (c.l1_txns, c.l2_txns, c.dram_read_txns, c.dram_write_txns,
+                  self.atomics.compulsory, self.atomics.conflict)
         self.memory.begin_task()
         for access in task.accesses:
             self.memory.process(access)
@@ -146,13 +182,21 @@ class Device:
             task.strategy = self._scope[1]
 
         self._tasks.append(task)
-        if before is not None:
-            now = self.counter_state()
-            delta = {k: now[k] - before[k] for k in
-                     ("l1_txns", "l2_txns", "dram_txns",
-                      "atomics_compulsory", "atomics_conflict")}
+        deltas = (c.l1_txns - before[0], c.l2_txns - before[1],
+                  c.dram_read_txns - before[2], c.dram_write_txns - before[3],
+                  self.atomics.compulsory - before[4],
+                  self.atomics.conflict - before[5])
+        row = self._metric_row(task.node_id)
+        for counter, delta in zip(row, deltas):
+            if delta:
+                counter.value += delta
+        row[-2].value += 1
+        row[-1].value += task.flops
+        if self.observers:
+            delta_map = dict(zip(_TASK_METRICS, deltas))
+            delta_map["dram_txns"] = deltas[2] + deltas[3]
             for obs in self.observers:
-                obs.on_task_submit(self, task, delta)
+                obs.on_task_submit(self, task, delta_map)
 
     def note_values(self, task: Task | None, node_id: int | None, values) -> None:
         """Announce a functional-mode kernel result to the observers.
@@ -167,6 +211,7 @@ class Device:
     def synchronize(self) -> None:
         """Record one device-wide synchronization barrier."""
         self._sync_count += 1
+        self.metrics_registry.inc("syncs")
         barrier = self.now_s + self.spec.sync_time_s
         self._lanes = [barrier] * len(self._lanes)
         for obs in self.observers:
@@ -212,6 +257,7 @@ class Device:
         if first:
             self.memory.flush()
             self._finished = True
+            self._export_cache_stats()
         breakdown = compute_breakdown(
             self.spec,
             self._tasks,
@@ -231,3 +277,12 @@ class Device:
             for obs in self.observers:
                 obs.on_finish(self, metrics)
         return metrics
+
+    def _export_cache_stats(self) -> None:
+        """Publish end-of-run cache-model accounting as registry gauges."""
+        reg = self.metrics_registry
+        stats = self.memory.stats()
+        for level in ("l1", "l2"):
+            for name, value in stats[level].items():
+                reg.gauge(f"cache_{name}", level=level).set(value)
+        reg.gauge("analytic_resident_bytes").set(stats["analytic_resident_bytes"])

@@ -264,6 +264,19 @@ class MemorySystem:
         if dirty:
             self.counters.dram_write_txns += _txns(dirty, self.line)
 
+    # -- observability ------------------------------------------------------
+    def stats(self) -> dict:
+        """Cache-model accounting beyond the transaction counters: per-level
+        hit/miss bytes and where every dirty byte went (evicted vs flushed
+        vs discarded).  Feeds the metrics registry and Perfetto counter
+        tracks."""
+        return {
+            "l1": self.l1.stats(),
+            "l2": self.l2.stats(),
+            "analytic_resident_bytes": self.analytic.total(),
+            "pinned_buffers": len(self._pinned),
+        }
+
     # -- lifetime management -----------------------------------------------
     def discard(self, buffer: Buffer) -> None:
         """Drop a (transient) buffer's cached data without write-back."""

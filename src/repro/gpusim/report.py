@@ -27,7 +27,12 @@ def _fmt_txns(n: int) -> str:
 def profile_report(metrics: RunMetrics, spec: GPUSpec, title: str = "run") -> str:
     """A compact Nsight-like profile of one simulated execution."""
     m, a, t = metrics.memory, metrics.atomics, metrics.time
+    # Zero-duration runs (empty graphs, pure-allocation tests) get a unit
+    # denominator so every share reads 0.0% instead of dividing by zero; the
+    # report says so explicitly rather than printing misleading percentages.
+    zero_duration = not t.total
     total = t.total or 1.0
+    atomics_time = t.atomics_compulsory + t.atomics_conflict
     lines = [
         f"== profile: {title} ({spec.name}) ==",
         f"  kernel invocations (tasks) ... {metrics.num_tasks}",
@@ -43,11 +48,12 @@ def profile_report(metrics: RunMetrics, spec: GPUSpec, title: str = "run") -> st
         f"    compulsory / conflict ...... {a.compulsory} / {a.conflict}",
         "",
         "  time breakdown (paper derivations):",
-        f"    total ...................... {t.total * 1e3:9.3f} ms",
+        f"    total ...................... {t.total * 1e3:9.3f} ms"
+        + ("  (zero-duration run; shares below are 0 by convention)" if zero_duration else ""),
         f"    DRAM (N_txn / R_txn) ....... {t.dram * 1e3:9.3f} ms ({t.dram / total:5.1%})",
-        f"    idle (total - DRAM) ........ {t.idle * 1e3:9.3f} ms",
+        f"    idle (total - DRAM) ........ {t.idle * 1e3:9.3f} ms ({t.idle / total:5.1%})",
         f"    compute (SM-wave model) .... {t.compute * 1e3:9.3f} ms ({t.compute / total:5.1%})",
-        f"    atomics comp. / conflict ... {t.atomics_compulsory * 1e3:.3f} / {t.atomics_conflict * 1e3:.3f} ms",
-        f"    other (residual) ........... {t.other * 1e3:9.3f} ms",
+        f"    atomics comp. / conflict ... {t.atomics_compulsory * 1e3:.3f} / {t.atomics_conflict * 1e3:.3f} ms ({atomics_time / total:5.1%})",
+        f"    other (residual) ........... {t.other * 1e3:9.3f} ms ({t.other / total:5.1%})",
     ]
     return "\n".join(lines)

@@ -1,0 +1,279 @@
+"""Hierarchical metrics registry: counters, gauges, histograms.
+
+The observability backbone: every instrumented component (the device, the
+four executors, the cache model, the interconnect) records into one
+:class:`MetricsRegistry` under hierarchical labels
+
+    ``(model, strategy, brick, subgraph, node)``
+
+so the same registry can answer "how many DRAM transactions total?", "how
+many in subgraph 3?", and "how many did node 17 produce under the memoized
+strategy?" -- the Nsight-style drill-down the paper's evaluation reads off
+real hardware (section 4).
+
+Design notes
+------------
+* Metrics are identified by ``(name, labels)``.  Labels are free-form
+  string pairs; the canonical hierarchy above is a convention, not a
+  constraint -- exporters sort label keys for stable output.
+* Default labels are supplied by nested :meth:`MetricsRegistry.label_scope`
+  contexts (the device pushes one per plan subgraph), so instrumentation
+  sites only name what they locally know (e.g. ``node=...``).
+* Handles returned by :meth:`counter` / :meth:`gauge` / :meth:`histogram`
+  are plain mutable cells, safe to cache on hot paths: the simulated device
+  resolves its per-task counter set once per ``(scope, node)`` and then
+  only does attribute increments.
+* :meth:`as_dict` / :meth:`from_dict` give a versioned, JSON-stable dump --
+  the "full metric dump" a :class:`~repro.metrics.manifest.RunManifest`
+  embeds and the regression differ compares.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+__all__ = ["Counter", "Gauge", "Histogram", "Sample", "MetricsRegistry",
+           "LABEL_HIERARCHY"]
+
+# Canonical label hierarchy, coarse to fine (exporters order keys this way).
+LABEL_HIERARCHY = ("model", "strategy", "brick", "subgraph", "node")
+
+_KIND_COUNTER = "counter"
+_KIND_GAUGE = "gauge"
+_KIND_HISTOGRAM = "histogram"
+
+# Power-of-four byte/size buckets: wide dynamic range, few buckets.
+DEFAULT_BUCKETS = tuple(float(4 ** i) for i in range(1, 16))
+
+
+class Counter:
+    """A monotonically increasing value (transactions, bytes, retries)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time level (live bytes, residency, final totals)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def add(self, amount: float) -> None:
+        self.value += amount
+
+
+class Histogram:
+    """A distribution over fixed buckets (e.g. message sizes).
+
+    ``counts[i]`` counts observations ``<= buckets[i]``; the final slot is
+    the overflow bucket.  ``sum``/``count`` give the mean.
+    """
+
+    __slots__ = ("buckets", "counts", "sum", "count")
+
+    def __init__(self, buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        self.buckets = tuple(sorted(buckets))
+        self.counts = [0] * (len(self.buckets) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        for i, edge in enumerate(self.buckets):
+            if value <= edge:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One collected metric: name, kind, labels, and its value(s)."""
+
+    name: str
+    kind: str
+    labels: tuple[tuple[str, str], ...]
+    value: float
+    histogram: dict | None = None
+
+    def label_dict(self) -> dict[str, str]:
+        return dict(self.labels)
+
+
+def _label_key(labels: Mapping[str, object]) -> tuple[tuple[str, str], ...]:
+    """Canonical hashable form: hierarchy keys first, then the rest sorted."""
+    items = {str(k): str(v) for k, v in labels.items() if v is not None}
+    ordered = [(k, items.pop(k)) for k in LABEL_HIERARCHY if k in items]
+    ordered.extend(sorted(items.items()))
+    return tuple(ordered)
+
+
+@dataclass
+class MetricsRegistry:
+    """Registry of labelled counters/gauges/histograms for one run (or many:
+    nothing prevents aggregating several runs into one registry -- the
+    ``model`` label keeps them apart)."""
+
+    base_labels: dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._metrics: dict[tuple[str, tuple], Counter | Gauge | Histogram] = {}
+        self._kinds: dict[str, str] = {}
+        self._context: list[dict[str, str]] = []
+        # Bumped whenever the label context changes, so hot paths caching
+        # resolved handles (the device's per-task counter rows) can key
+        # their cache on it.
+        self.context_token = 0
+
+    # -- label context -------------------------------------------------------
+    def set_base(self, **labels: object) -> None:
+        """Set always-applied labels (e.g. ``model=graph.name``)."""
+        for k, v in labels.items():
+            if v is not None:
+                self.base_labels[str(k)] = str(v)
+        self.context_token += 1
+
+    @contextmanager
+    def label_scope(self, **labels: object) -> Iterator[None]:
+        """Push default labels for the duration of the context."""
+        frame = {str(k): str(v) for k, v in labels.items() if v is not None}
+        self._context.append(frame)
+        self.context_token += 1
+        try:
+            yield
+        finally:
+            self._context.pop()
+            self.context_token += 1
+
+    def current_labels(self, extra: Mapping[str, object] | None = None) -> dict[str, str]:
+        merged: dict[str, str] = dict(self.base_labels)
+        for frame in self._context:
+            merged.update(frame)
+        if extra:
+            for k, v in extra.items():
+                if v is not None:
+                    merged[str(k)] = str(v)
+        return merged
+
+    # -- metric access -------------------------------------------------------
+    def _get(self, name: str, kind: str, labels: Mapping[str, object],
+             factory) -> Counter | Gauge | Histogram:
+        known = self._kinds.setdefault(name, kind)
+        if known != kind:
+            raise ValueError(f"metric {name!r} already registered as {known}, not {kind}")
+        key = (name, _label_key(self.current_labels(labels)))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = self._metrics[key] = factory()
+        return metric
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        return self._get(name, _KIND_COUNTER, labels, Counter)
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        return self._get(name, _KIND_GAUGE, labels, Gauge)
+
+    def histogram(self, name: str, buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+                  **labels: object) -> Histogram:
+        return self._get(name, _KIND_HISTOGRAM, labels, lambda: Histogram(buckets))
+
+    def inc(self, name: str, amount: float = 1.0, **labels: object) -> None:
+        """Convenience one-shot counter increment."""
+        self.counter(name, **labels).inc(amount)
+
+    # -- collection ----------------------------------------------------------
+    def samples(self) -> list[Sample]:
+        out = []
+        for (name, labels), metric in sorted(self._metrics.items()):
+            kind = self._kinds[name]
+            if isinstance(metric, Histogram):
+                out.append(Sample(name, kind, labels, metric.sum, histogram={
+                    "buckets": list(metric.buckets),
+                    "counts": list(metric.counts),
+                    "sum": metric.sum,
+                    "count": metric.count,
+                }))
+            else:
+                out.append(Sample(name, kind, labels, metric.value))
+        return out
+
+    def total(self, name: str, **match: object) -> float:
+        """Aggregate a metric over every series matching the label subset.
+
+        Counters and gauges sum their values; histograms sum their ``sum``.
+        ``total("dram_txns", subgraph=0)`` rolls node-level series up to the
+        subgraph -- the hierarchical query the labels exist for.
+        """
+        want = {str(k): str(v) for k, v in match.items() if v is not None}
+        acc = 0.0
+        for (mname, labels), metric in self._metrics.items():
+            if mname != name:
+                continue
+            have = dict(labels)
+            if any(have.get(k) != v for k, v in want.items()):
+                continue
+            acc += metric.sum if isinstance(metric, Histogram) else metric.value
+        return acc
+
+    def series(self, name: str) -> dict[tuple[tuple[str, str], ...], float]:
+        """All label-sets of one metric and their scalar values."""
+        return {labels: (m.sum if isinstance(m, Histogram) else m.value)
+                for (mname, labels), m in self._metrics.items() if mname == name}
+
+    def names(self) -> list[str]:
+        return sorted(self._kinds)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    # -- serialization -------------------------------------------------------
+    def as_dict(self) -> dict:
+        """JSON-stable dump: one entry per series, sorted."""
+        entries = []
+        for s in self.samples():
+            entry: dict = {"name": s.name, "kind": s.kind,
+                           "labels": s.label_dict(), "value": s.value}
+            if s.histogram is not None:
+                entry["histogram"] = s.histogram
+            entries.append(entry)
+        return {"base_labels": dict(self.base_labels), "series": entries}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "MetricsRegistry":
+        reg = cls(base_labels=dict(payload.get("base_labels", {})))
+        for entry in payload.get("series", ()):
+            labels = entry.get("labels", {})
+            kind = entry["kind"]
+            if kind == _KIND_COUNTER:
+                reg.counter(entry["name"], **labels).inc(entry["value"])
+            elif kind == _KIND_GAUGE:
+                reg.gauge(entry["name"], **labels).set(entry["value"])
+            else:
+                h = entry.get("histogram", {})
+                hist = reg.histogram(entry["name"],
+                                     buckets=tuple(h.get("buckets", DEFAULT_BUCKETS)),
+                                     **labels)
+                hist.counts = list(h.get("counts", hist.counts))
+                hist.sum = float(h.get("sum", 0.0))
+                hist.count = int(h.get("count", 0))
+        return reg

@@ -238,14 +238,17 @@ class TraceCollector(DeviceObserver):
         rows = [{
             "l1_txns": 0, "l2_txns": 0, "dram_txns": 0,
             "atomics_compulsory": 0, "atomics_conflict": 0,
-            "num_tasks": 0, "flops": 0.0, "syncs": 0, "overhead_s": 0.0,
+            "num_tasks": 0, "calls": 0, "flops": 0.0, "busy_s": 0.0,
+            "syncs": 0, "overhead_s": 0.0,
         } for _ in range(n)]
         for r in self.records:
             if r.subgraph_index is None or not (0 <= r.subgraph_index < n):
                 continue
             row = rows[r.subgraph_index]
             row["num_tasks"] += 1
+            row["calls"] += r.calls
             row["flops"] += r.flops
+            row["busy_s"] += r.duration_s
             for k in _COUNTER_KEYS:
                 row[k] += getattr(r, k)
         for key, residual in self.residuals.items():

@@ -1,0 +1,134 @@
+"""Direct unit tests for SectorCache lifetime counter accounting.
+
+The invariant under test: every accessed byte lands in exactly one of
+hit/miss, and every dirty byte leaves the cache through exactly one of
+evicted (LRU pressure), flushed (write-back), or discarded (dropped
+without write-back).
+"""
+
+import pytest
+
+from repro.gpusim.cache import SectorCache
+
+
+SECTOR = 32
+
+
+def make_cache(sectors: int = 4) -> SectorCache:
+    return SectorCache(capacity_bytes=sectors * SECTOR, sector_bytes=SECTOR)
+
+
+class TestHitMissTotals:
+    def test_every_accessed_byte_is_hit_or_miss(self):
+        cache = make_cache()
+        accessed = 0
+        for offset, nbytes in ((0, 48), (16, 64), (100, 7), (0, 128)):
+            cache.access(1, offset, nbytes, write=False)
+            accessed += nbytes
+        assert cache.hit_bytes_total + cache.miss_bytes_total == accessed
+
+    def test_wrap_around_evictions_remiss(self):
+        # Capacity 4 sectors; touching 6 distinct sectors evicts the first
+        # two, so re-touching them must count as fresh misses, not hits.
+        cache = make_cache(sectors=4)
+        for s in range(6):
+            cache.access(1, s * SECTOR, SECTOR, write=False)
+        assert cache.miss_bytes_total == 6 * SECTOR
+        assert cache.hit_bytes_total == 0
+        # Sector 5 is resident (hit); sector 0 was evicted (miss again).
+        assert cache.access(1, 5 * SECTOR, SECTOR, write=False).hit_bytes == SECTOR
+        assert cache.access(1, 0, SECTOR, write=False).miss_bytes == SECTOR
+        assert cache.hit_bytes_total == SECTOR
+        assert cache.miss_bytes_total == 7 * SECTOR
+
+    def test_partial_sector_spans_count_bytes_not_sectors(self):
+        cache = make_cache()
+        # 48 bytes at offset 16 straddles sectors 0..1 (16 + 32 bytes).
+        r = cache.access(1, 16, 48, write=False)
+        assert r.miss_bytes == 48
+        # Re-access the same span: all 48 bytes hit even though the first
+        # access only touched part of each sector (residency is sectorwise).
+        r = cache.access(1, 16, 48, write=False)
+        assert r.hit_bytes == 48
+        assert cache.hit_bytes_total == 48
+        assert cache.miss_bytes_total == 48
+
+
+class TestDirtyByteAttribution:
+    def test_discard_vs_flush_are_disjoint(self):
+        cache = make_cache(sectors=8)
+        cache.access(1, 0, 2 * SECTOR, write=True)   # buffer 1: 64 dirty
+        cache.access(2, 0, SECTOR, write=True)       # buffer 2: 32 dirty
+        assert cache.discard(1) == 2
+        assert cache.discarded_dirty_bytes == 2 * SECTOR
+        assert cache.flushed_dirty_bytes == 0
+        assert cache.flush() == SECTOR
+        assert cache.flushed_dirty_bytes == SECTOR
+        # Nothing was evicted; the three exit paths never double-count.
+        assert cache.evicted_dirty_bytes_total == 0
+        assert cache.discarded_dirty_bytes + cache.flushed_dirty_bytes == 3 * SECTOR
+
+    def test_flush_cleans_without_dropping_residency(self):
+        cache = make_cache()
+        cache.access(1, 0, SECTOR, write=True)
+        cache.flush()
+        assert len(cache) == 1
+        # A second flush has nothing left to write back.
+        assert cache.flush() == 0
+        assert cache.flushed_dirty_bytes == SECTOR
+
+    def test_partial_write_dirties_only_written_bytes(self):
+        cache = make_cache()
+        cache.access(1, 0, 10, write=True)
+        assert cache.flush() == 10
+
+    def test_eviction_attributes_dirty_to_evicted_total(self):
+        cache = make_cache(sectors=2)
+        cache.access(1, 0, 2 * SECTOR, write=True)
+        cache.access(1, 2 * SECTOR, 2 * SECTOR, write=True)  # evicts both dirty
+        assert cache.evicted_dirty_bytes_total == 2 * SECTOR
+        assert cache.discarded_dirty_bytes == 0
+        assert cache.flushed_dirty_bytes == 0
+
+
+class TestDrainAndClear:
+    def test_drain_evicted_dirty_is_idempotent(self):
+        cache = make_cache(sectors=2)
+        cache.access(1, 0, 2 * SECTOR, write=True)
+        cache.access(1, 2 * SECTOR, SECTOR, write=True)  # evicts one dirty sector
+        assert cache.drain_evicted_dirty() == SECTOR
+        assert cache.drain_evicted_dirty() == 0
+        assert cache.drain_evicted_dirty() == 0
+        # The lifetime total is not consumed by draining.
+        assert cache.evicted_dirty_bytes_total == SECTOR
+
+    def test_clear_preserves_lifetime_totals(self):
+        cache = make_cache(sectors=2)
+        cache.access(1, 0, 2 * SECTOR, write=True)
+        cache.access(1, 2 * SECTOR, SECTOR, write=False)  # eviction
+        hit, miss = cache.hit_bytes_total, cache.miss_bytes_total
+        evicted = cache.evicted_dirty_bytes_total
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.drain_evicted_dirty() == 0  # pending drain is dropped
+        assert (cache.hit_bytes_total, cache.miss_bytes_total) == (hit, miss)
+        assert cache.evicted_dirty_bytes_total == evicted
+
+    def test_stats_reflects_lifetime_accounting(self):
+        cache = make_cache()
+        cache.access(1, 0, SECTOR, write=True)
+        cache.access(1, 0, SECTOR, write=False)
+        cache.discard(1)
+        stats = cache.stats()
+        assert stats == {
+            "hit_bytes": SECTOR,
+            "miss_bytes": SECTOR,
+            "evicted_dirty_bytes": 0,
+            "flushed_dirty_bytes": 0,
+            "discarded_dirty_bytes": SECTOR,
+            "resident_sectors": 0,
+        }
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            SectorCache(capacity_bytes=16, sector_bytes=32)
