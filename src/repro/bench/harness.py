@@ -34,7 +34,7 @@ from repro.gpusim.device import Device
 from repro.gpusim.spec import A100, GPUSpec
 
 __all__ = ["scale_preset", "run_brickdl", "run_conventional", "adapt_sectors",
-           "record_bench_manifest"]
+           "record_bench_manifest", "run_serve_loadgen"]
 
 _SCALES = ("small", "half", "full")
 
@@ -151,6 +151,53 @@ def record_bench_manifest(
     )
     path = manifest.save(bench_manifest_path(model, out_dir, label=label))
     return manifest, path
+
+
+def run_serve_loadgen(
+    model: str,
+    requests: int = 200,
+    devices: int = 2,
+    mode: str = "poisson",
+    rate: float = 100.0,
+    concurrency: int = 8,
+    max_batch: int = 8,
+    max_wait_s: float = 0.02,
+    queue_depth: int = 64,
+    cache_capacity: int = 16,
+    saturation_policy: str = "degrade",
+    functional: bool = True,
+    strategy: Strategy | None = None,
+    brick: int | None = None,
+    timeout_s: float | None = None,
+    seed: int = 0,
+    verify: int = 0,
+    spec: GPUSpec = A100,
+    manifest: "str | os.PathLike | None" = None,
+    **build_kwargs,
+):
+    """Serve one zoo model under synthetic traffic; returns ``(report, server)``.
+
+    The shared path of the ``repro loadgen`` CLI, the CI serve-smoke job,
+    and ``benchmarks/bench_serve.py``, so a committed smoke threshold and a
+    local run exercise the same code.  ``manifest`` optionally names a file
+    to receive the session's serving :class:`~repro.metrics.RunManifest`.
+    """
+    from repro.models import zoo
+    from repro.serve import InferenceServer, ServeConfig, loadgen
+
+    graph = zoo.build(model, **build_kwargs)
+    config = ServeConfig(
+        devices=devices, max_batch=max_batch, max_wait_s=max_wait_s,
+        queue_depth=queue_depth, cache_capacity=cache_capacity,
+        saturation_policy=saturation_policy, functional=functional,
+        strategy=strategy, brick=brick, default_timeout_s=timeout_s,
+    )
+    server = InferenceServer(graph, spec=spec, config=config)
+    report = loadgen(server, requests=requests, mode=mode, rate=rate,
+                     concurrency=concurrency, seed=seed, verify=verify)
+    if manifest is not None:
+        server.manifest(scale=scale_preset()).save(manifest)
+    return report, server
 
 
 def run_conventional(

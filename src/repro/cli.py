@@ -12,6 +12,8 @@ Usage::
     python -m repro.cli fig 10            # run an evaluation figure driver
     python -m repro.cli metrics record vgg16 --reduced --strategy padded
     python -m repro.cli metrics diff baseline.json fresh.json
+    python -m repro.cli serve mobilenet_v1 --requests 8 --devices 2
+    python -m repro.cli loadgen mobilenet_v1 --requests 200 --devices 2 --verify 5
     python -m repro.cli microbench
 """
 
@@ -306,6 +308,66 @@ def cmd_metrics(args) -> int:
     return 1 if report.regressions else 0
 
 
+def _serve_build_kwargs(args) -> dict:
+    kwargs = {}
+    if not args.full:
+        kwargs["reduced"] = True
+    if args.image_size:
+        kwargs.pop("reduced", None)
+        kwargs["image_size"] = args.image_size
+    return kwargs
+
+
+def cmd_serve(args) -> int:
+    """Start the async server and run a short closed-loop demo against it."""
+    from repro.bench.harness import run_serve_loadgen
+
+    report, server = run_serve_loadgen(
+        args.model, requests=args.requests, devices=args.devices,
+        mode="closed", concurrency=min(4, args.requests or 1),
+        max_batch=args.max_batch, max_wait_s=args.max_wait_ms / 1e3,
+        queue_depth=args.queue_depth, cache_capacity=args.cache_capacity,
+        functional=not args.profile, strategy=_strategy(args),
+        brick=args.brick, timeout_s=None if args.timeout_ms is None else args.timeout_ms / 1e3,
+        seed=args.seed, manifest=args.manifest,
+        **_serve_build_kwargs(args))
+    stats = server.stats()
+    print(f"served {stats['requests']['completed']} requests on "
+          f"{args.devices} simulated device(s): "
+          f"p50 {stats['latency_s']['p50'] * 1e3:.1f} ms, "
+          f"p99 {stats['latency_s']['p99'] * 1e3:.1f} ms, "
+          f"plan cache {stats['plan_cache']['hits']}/{stats['plan_cache']['hits'] + stats['plan_cache']['misses']} hits "
+          f"({stats['plan_cache']['size']} entries)")
+    for entry in server.cache.snapshot():
+        print(f"  bucket {entry['batch_bucket']:3d}: plan {entry['plan_digest']} "
+              f"({entry['subgraphs']} subgraphs, "
+              f"strategy {entry['strategy'] or 'model-chosen'}, "
+              f"{entry['uses']} reuses)")
+    if args.manifest:
+        print(f"wrote serving manifest to {args.manifest}")
+    return 0
+
+
+def cmd_loadgen(args) -> int:
+    """Drive the serving layer with open-loop Poisson or closed-loop traffic."""
+    from repro.bench.harness import run_serve_loadgen
+
+    report, _ = run_serve_loadgen(
+        args.model, requests=args.requests, devices=args.devices,
+        mode=args.mode, rate=args.rate, concurrency=args.concurrency,
+        max_batch=args.max_batch, max_wait_s=args.max_wait_ms / 1e3,
+        queue_depth=args.queue_depth, cache_capacity=args.cache_capacity,
+        saturation_policy=args.on_saturation,
+        functional=not args.profile, strategy=_strategy(args),
+        brick=args.brick, timeout_s=None if args.timeout_ms is None else args.timeout_ms / 1e3,
+        seed=args.seed, verify=args.verify, manifest=args.manifest,
+        **_serve_build_kwargs(args))
+    print(report.render())
+    if args.manifest:
+        print(f"\nwrote serving manifest to {args.manifest}")
+    return 0
+
+
 def cmd_microbench(args) -> int:
     from repro.bench.microbench import atomic_microbenchmark, compute_microbenchmark
 
@@ -406,6 +468,47 @@ def build_parser() -> argparse.ArgumentParser:
     dif.add_argument("--verbose", action="store_true",
                      help="list every compared metric, not just movements")
     dif.set_defaults(fn=cmd_metrics)
+
+    for name, fn, help_ in (
+            ("serve", cmd_serve,
+             "start the async batching server and demo it with a few requests"),
+            ("loadgen", cmd_loadgen,
+             "drive the serving layer with Poisson / closed-loop traffic")):
+        sp = sub.add_parser(name, help=help_)
+        sp.add_argument("model")
+        sp.add_argument("--requests", type=int, default=8 if name == "serve" else 200)
+        sp.add_argument("--devices", type=int, default=2,
+                        help="simulated device fleet size")
+        sp.add_argument("--max-batch", type=int, default=8)
+        sp.add_argument("--max-wait-ms", type=float, default=20.0,
+                        help="dynamic batcher hold on the head request")
+        sp.add_argument("--queue-depth", type=int, default=64)
+        sp.add_argument("--cache-capacity", type=int, default=16,
+                        help="compiled-plan LRU entries")
+        sp.add_argument("--timeout-ms", type=float, default=None,
+                        help="per-request queueing deadline")
+        sp.add_argument("--strategy", choices=["padded", "memoized", "wavefront"],
+                        default=None)
+        sp.add_argument("--brick", type=int, default=None)
+        sp.add_argument("--profile", action="store_true",
+                        help="profile mode: access streams/timing only, no outputs")
+        sp.add_argument("--full", action="store_true",
+                        help="serve the paper-scale model (default: reduced config)")
+        sp.add_argument("--image-size", type=int, default=None)
+        sp.add_argument("--seed", type=int, default=0)
+        sp.add_argument("--manifest", default=None, metavar="OUT.json",
+                        help="write the serving-session run manifest")
+        if name == "loadgen":
+            sp.add_argument("--mode", choices=["poisson", "closed"], default="poisson")
+            sp.add_argument("--rate", type=float, default=100.0,
+                            help="open-loop arrival rate (requests/second)")
+            sp.add_argument("--concurrency", type=int, default=8,
+                            help="closed-loop clients")
+            sp.add_argument("--on-saturation", choices=["degrade", "reject"],
+                            default="degrade")
+            sp.add_argument("--verify", type=int, default=0, metavar="K",
+                            help="re-check K responses bit-identical to single-shot runs")
+        sp.set_defaults(fn=fn)
 
     sub.add_parser("microbench", help="the section 4.3 calibration scalars").set_defaults(fn=cmd_microbench)
     return p

@@ -163,6 +163,29 @@ class BrickDLEngine:
         self.strict = strict
         self.sanitize = sanitize
 
+    def for_batch(self, batch: int) -> "BrickDLEngine":
+        """An engine over this graph rebatched to ``batch`` samples.
+
+        The serving layer's dynamic batcher compiles one plan per batch
+        bucket: batch size changes activation volumes, which moves the
+        L2-footprint partitioning and therefore the whole plan (section 3.3).
+        Weights are shared with the base graph, so batched outputs stay
+        bit-identical to single-shot runs of the original.
+        """
+        from repro.graph.transforms import rebatch_graph
+
+        return BrickDLEngine(
+            rebatch_graph(self.graph, batch),
+            spec=self.spec,
+            config=self.config,
+            strategy_override=self.strategy_override,
+            brick_override=self.brick_override,
+            max_layers=self.max_layers,
+            layer_schedule=self.layer_schedule,
+            strict=self.strict,
+            sanitize=self.sanitize,
+        )
+
     # -- compilation -----------------------------------------------------------
     def compile(self) -> ExecutionPlan:
         views = partition_graph(

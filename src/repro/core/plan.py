@@ -70,6 +70,17 @@ class ExecutionPlan:
     def merged_count(self) -> int:
         return sum(1 for s in self.subgraphs if s.is_merged)
 
+    def digest(self) -> str:
+        """Stable digest of the plan's decisions (not its timings).
+
+        The same fingerprint the run manifests record, so a serving-layer
+        plan-cache entry, a ``BENCH_*.json`` baseline, and a perf diff all
+        talk about plans in one currency.
+        """
+        from repro.metrics.manifest import plan_digest
+
+        return plan_digest(self)
+
     def summary(self) -> str:
         lines = [f"ExecutionPlan for {self.graph.name!r}: {len(self.subgraphs)} subgraphs "
                  f"({self.merged_count} merged)"]

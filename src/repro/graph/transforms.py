@@ -32,6 +32,7 @@ __all__ = [
     "eliminate_dead_nodes",
     "eliminate_common_subexpressions",
     "optimize",
+    "rebatch_graph",
 ]
 
 
@@ -58,6 +59,38 @@ def _rebuild(graph: Graph, skip: dict[int, int], name_suffix: str) -> Graph:
         mapping[node.node_id] = new
     for o in graph.output_nodes:
         out.mark_output(resolve(o.node_id))
+    out.validate()
+    return out
+
+
+def rebatch_graph(graph: Graph, batch: int) -> Graph:
+    """Rebuild ``graph`` with every input's batch dimension set to ``batch``.
+
+    All downstream specs are re-inferred, so any op whose output shape
+    follows generically from its inputs rebatches for free.  Weight arrays
+    are *shared* (not copied) with the source graph: weights are
+    batch-independent, and sharing is what lets the serving layer's batched
+    clones produce bit-identical outputs to the single-shot graph without
+    re-initializing.
+    """
+    if batch < 1:
+        raise ValueError(f"batch must be >= 1, got {batch}")
+    if all(n.spec.batch == batch for n in graph.input_nodes):
+        return graph
+    from repro.graph.tensorspec import TensorSpec
+
+    out = Graph(graph.name)
+    mapping: dict[int, Node] = {}
+    for node in graph.nodes:
+        if node.is_input:
+            spec = TensorSpec(batch, node.spec.channels, node.spec.spatial, node.spec.dtype)
+            new = out.input(spec, name=node.name)
+        else:
+            new = out.add(node.op, [mapping[i] for i in node.inputs], name=node.name)
+            new.weights = node.weights
+        mapping[node.node_id] = new
+    for o in graph.output_nodes:
+        out.mark_output(mapping[o.node_id])
     out.validate()
     return out
 

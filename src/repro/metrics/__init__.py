@@ -39,10 +39,13 @@ from repro.metrics.manifest import (
     RunManifest,
     bench_manifest_path,
     manifest_from_result,
+    manifest_from_serve,
     plan_digest,
 )
 from repro.metrics.registry import (
+    BATCH_BUCKETS,
     LABEL_HIERARCHY,
+    LATENCY_BUCKETS_S,
     Counter,
     Gauge,
     Histogram,
@@ -52,11 +55,11 @@ from repro.metrics.registry import (
 
 __all__ = [
     "MetricsRegistry", "Counter", "Gauge", "Histogram", "Sample",
-    "LABEL_HIERARCHY",
+    "LABEL_HIERARCHY", "LATENCY_BUCKETS_S", "BATCH_BUCKETS",
     "BottleneckReport", "RooflinePoint", "COMPONENTS",
     "attribute_run", "attribute_subgraphs", "attribution_table",
     "RunManifest", "MANIFEST_VERSION", "manifest_from_result",
-    "bench_manifest_path", "plan_digest",
+    "manifest_from_serve", "bench_manifest_path", "plan_digest",
     "DiffReport", "MetricDelta", "DEFAULT_TOLERANCES", "diff_manifests",
     "CounterTrackSampler", "prometheus_textfile", "write_prometheus_textfile",
     "metrics_csv", "write_metrics_csv",

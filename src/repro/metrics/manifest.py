@@ -31,7 +31,7 @@ import pathlib
 import subprocess
 from dataclasses import dataclass, field
 from datetime import datetime, timezone
-from typing import TYPE_CHECKING, Mapping
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 from repro.metrics.attribute import attribute_run, attribute_subgraphs
 
@@ -40,7 +40,8 @@ if TYPE_CHECKING:  # pragma: no cover - types only
     from repro.gpusim.spec import GPUSpec
 
 __all__ = ["MANIFEST_VERSION", "RunManifest", "manifest_from_result",
-           "plan_digest", "spec_dict", "git_sha", "bench_manifest_path"]
+           "manifest_from_serve", "plan_digest", "spec_dict", "git_sha",
+           "bench_manifest_path"]
 
 MANIFEST_VERSION = 1
 
@@ -224,6 +225,41 @@ def manifest_from_result(
         metrics=_metrics_dict(result.metrics),
         registry=registry.as_dict() if registry is not None else {},
         bottleneck=reports,
+    )
+
+
+def manifest_from_serve(
+    model: str,
+    registry,
+    spec: "GPUSpec",
+    cached_plans: Sequence[Mapping] = (),
+    serve_stats: Mapping | None = None,
+    label: str = "serve",
+    scale: str | None = None,
+    build_args: Mapping | None = None,
+) -> RunManifest:
+    """Build the manifest for one serving session.
+
+    Unlike :func:`manifest_from_result` (one engine execution), a serving
+    manifest aggregates many batched executions: its ``metrics`` carry the
+    serve-path rollup (request counts, latency quantiles, cache hit ratio),
+    its ``plan`` lists every plan-cache entry (keyed digest + the PR-4 plan
+    digest per batch bucket), and its ``registry`` is the server's registry
+    dump -- so a loadgen run leaves the same kind of diffable record a
+    benchmark run does.
+    """
+    return RunManifest(
+        model=model,
+        label=label,
+        created=datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        git_sha=git_sha(),
+        scale=scale,
+        build_args=dict(build_args or {}),
+        spec=spec_dict(spec),
+        plan={"cached": [dict(p) for p in cached_plans]},
+        metrics={"serve": dict(serve_stats or {})},
+        registry=registry.as_dict() if registry is not None else {},
+        bottleneck={},
     )
 
 

@@ -47,6 +47,14 @@ _KIND_HISTOGRAM = "histogram"
 # Power-of-four byte/size buckets: wide dynamic range, few buckets.
 DEFAULT_BUCKETS = tuple(float(4 ** i) for i in range(1, 16))
 
+# Latency buckets in seconds: ~sqrt(2)-spaced from 0.25 ms to 2 min, fine
+# enough that interpolated p50/p99 are meaningful for serving workloads.
+LATENCY_BUCKETS_S = tuple(0.00025 * 2 ** (i / 2) for i in range(38))
+
+# Batch-size buckets: exact small sizes (dynamic batching buckets are powers
+# of two, so each bucket boundary is a real batch size).
+BATCH_BUCKETS = tuple(float(2 ** i) for i in range(9))
+
 
 class Counter:
     """A monotonically increasing value (transactions, bytes, retries)."""
@@ -104,6 +112,29 @@ class Histogram:
     @property
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (0..1) by linear interpolation within
+        the bucket containing the target rank.
+
+        Resolution is bucket-bounded: pick buckets sized for the quantity
+        (e.g. :data:`LATENCY_BUCKETS_S` for serving latencies).  The
+        overflow bucket reports the top edge -- a conservative floor, not an
+        estimate.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self.count:
+            return 0.0
+        target = q * self.count
+        cum = 0.0
+        lo = 0.0
+        for edge, n in zip(self.buckets, self.counts):
+            if n and cum + n >= target:
+                return lo + (target - cum) / n * (edge - lo)
+            cum += n
+            lo = edge
+        return self.buckets[-1]
 
 
 @dataclass(frozen=True)

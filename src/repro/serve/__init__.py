@@ -1,0 +1,36 @@
+"""Async inference serving over the simulated device fleet.
+
+The production-shaped front half of the reproduction: an asyncio admission
+queue with bounded depth and per-request deadlines, a dynamic batcher that
+coalesces compatible requests into power-of-two batch buckets, a persistent
+compiled-plan cache keyed by ``(model, batch bucket, GPUSpec, overrides)``
+with LRU eviction, and a scheduler that round-robins batches across N
+simulated devices with backpressure and graceful degradation to the
+cuDNN-fallback path.  Serve-path metrics (latency histograms, queue-depth
+gauges, batch-size histograms, cache hit ratios) flow into the existing
+:class:`~repro.metrics.MetricsRegistry` and out as run manifests.
+
+Entry points: :class:`InferenceServer` (async API), :func:`loadgen` /
+:func:`run_loadgen` (traffic + report), and the ``repro serve`` /
+``repro loadgen`` CLI subcommands.
+"""
+
+from repro.serve.batcher import DynamicBatcher, batch_bucket
+from repro.serve.loadgen import LoadgenReport, loadgen, run_loadgen
+from repro.serve.plancache import CompiledEntry, PlanCache, PlanKey
+from repro.serve.request import (
+    InferenceRequest,
+    InferenceResponse,
+    QueueSaturatedError,
+    ServerClosedError,
+)
+from repro.serve.server import InferenceServer, ServeConfig
+
+__all__ = [
+    "InferenceServer", "ServeConfig",
+    "DynamicBatcher", "batch_bucket",
+    "PlanCache", "PlanKey", "CompiledEntry",
+    "InferenceRequest", "InferenceResponse",
+    "QueueSaturatedError", "ServerClosedError",
+    "LoadgenReport", "loadgen", "run_loadgen",
+]

@@ -1,0 +1,89 @@
+"""Dynamic batching: coalesce admitted requests into bucketed batches.
+
+Clipper-style adaptive batching: the batcher greedily coalesces queued
+requests up to ``max_batch``, but never holds the head request longer than
+``max_wait_s`` -- and flushes *earlier* if the head request's deadline
+would otherwise expire while waiting for stragglers.  Batch sizes are then
+rounded up to the nearest power-of-two *bucket*, so the plan cache holds
+O(log max_batch) compiled plans instead of one per observed batch size;
+the pad slots run zeros and are sliced away before responses resolve.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.serve.request import InferenceRequest
+
+__all__ = ["DynamicBatcher", "batch_bucket"]
+
+
+def batch_bucket(n: int, max_batch: int) -> int:
+    """Smallest power of two >= ``n``, capped at ``max_batch``."""
+    if n < 1:
+        raise ValueError(f"batch size must be >= 1, got {n}")
+    bucket = 1
+    while bucket < n:
+        bucket *= 2
+    return min(bucket, max(max_batch, n))
+
+
+class DynamicBatcher:
+    """Pull coalesced batches off an admission queue."""
+
+    def __init__(
+        self,
+        queue: "asyncio.Queue[InferenceRequest]",
+        max_batch: int = 8,
+        max_wait_s: float = 0.01,
+        # Flush this far ahead of the head request's deadline so the batch
+        # still has a chance to execute inside it.
+        deadline_slack_s: float = 0.0,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_wait_s < 0:
+            raise ValueError(f"max_wait_s must be >= 0, got {max_wait_s}")
+        self.queue = queue
+        self.max_batch = max_batch
+        self.max_wait_s = max_wait_s
+        self.deadline_slack_s = deadline_slack_s
+        self.batches_formed = 0
+
+    def _flush_at(self, now_s: float, head: InferenceRequest) -> float:
+        flush_at = now_s + self.max_wait_s
+        if head.deadline_s is not None:
+            flush_at = min(flush_at, head.deadline_s - self.deadline_slack_s)
+        return flush_at
+
+    async def next_batch(self) -> list[InferenceRequest]:
+        """Block for the next batch: [head] plus whatever coalesces in time.
+
+        Returns at most ``max_batch`` requests.  The wait window is anchored
+        at the *head* request (its ``max_wait``/deadline govern the flush),
+        so a steady trickle cannot starve the first arrival.
+        """
+        loop = asyncio.get_running_loop()
+        head = await self.queue.get()
+        batch = [head]
+        flush_at = self._flush_at(loop.time(), head)
+        while len(batch) < self.max_batch:
+            remaining = flush_at - loop.time()
+            if remaining <= 0:
+                break
+            try:
+                req = await asyncio.wait_for(self.queue.get(), timeout=remaining)
+            except asyncio.TimeoutError:
+                break
+            batch.append(req)
+        self.batches_formed += 1
+        return batch
+
+    def drain_nowait(self) -> list[InferenceRequest]:
+        """Empty the queue without waiting (shutdown path)."""
+        drained = []
+        while True:
+            try:
+                drained.append(self.queue.get_nowait())
+            except asyncio.QueueEmpty:
+                return drained

@@ -1,0 +1,204 @@
+"""Traffic generation against an :class:`~repro.serve.server.InferenceServer`.
+
+Two canonical load shapes:
+
+* **open-loop Poisson** -- arrivals are a seeded Poisson process at
+  ``rate`` requests/second, independent of completions (how production
+  traffic behaves; exposes queueing delay honestly);
+* **closed-loop** -- ``concurrency`` clients each keep exactly one request
+  in flight (how most benchmark harnesses behave; throughput-bound).
+
+Each request gets a deterministic input drawn from ``seed + request index``,
+so any response can be re-verified bit-for-bit against a single-shot
+:class:`~repro.core.engine.BrickDLEngine` run of the same input -- the
+differential check ``verify`` samples.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.serve.request import InferenceResponse, QueueSaturatedError
+from repro.serve.server import InferenceServer
+
+__all__ = ["LoadgenReport", "run_loadgen", "loadgen"]
+
+
+@dataclass
+class LoadgenReport:
+    """What one traffic run observed, read back off the server registry."""
+
+    model: str
+    mode: str
+    requests: int
+    completed: int
+    rejected: int
+    degraded: int
+    timed_out: int
+    verified: int
+    wall_s: float
+    throughput_rps: float
+    p50_s: float
+    p99_s: float
+    mean_batch: float
+    cache_hit_ratio: float        # request-weighted: requests on a cached plan
+    cache_lookup_ratio: float = 0.0   # per-lookup (one lookup per batch)
+    cache_entries: int = 0
+    stats: dict = field(default_factory=dict)
+
+    def render(self) -> str:
+        from repro.bench.reporting import format_table
+
+        rows = [
+            ["requests", f"{self.completed}/{self.requests} completed"],
+            ["rejected", self.rejected],
+            ["degraded (fallback)", self.degraded],
+            ["timed out", self.timed_out],
+            ["verified bit-identical", self.verified],
+            ["wall time", f"{self.wall_s:.2f} s"],
+            ["throughput", f"{self.throughput_rps:.1f} req/s"],
+            ["latency p50", f"{self.p50_s * 1e3:.1f} ms"],
+            ["latency p99", f"{self.p99_s * 1e3:.1f} ms"],
+            ["mean batch size", f"{self.mean_batch:.2f}"],
+            ["plan-cache hit ratio (requests)", f"{self.cache_hit_ratio:.1%}"],
+            ["plan-cache hit ratio (lookups)", f"{self.cache_lookup_ratio:.1%}"],
+            ["plan-cache entries", self.cache_entries],
+        ]
+        return format_table(
+            ["metric", "value"], rows,
+            title=f"loadgen: {self.model} ({self.mode})")
+
+
+def _request_input(graph, index: int, seed: int) -> np.ndarray:
+    spec = graph.input_nodes[0].spec
+    rng = np.random.default_rng(seed + index)
+    return rng.standard_normal(spec.shape).astype(spec.dtype)
+
+
+async def run_loadgen(
+    server: InferenceServer,
+    requests: int = 200,
+    mode: str = "poisson",
+    rate: float = 100.0,
+    concurrency: int = 8,
+    seed: int = 0,
+    timeout_s: float | None = None,
+    verify: int = 0,
+) -> LoadgenReport:
+    """Drive ``server`` (already started) with synthetic traffic.
+
+    ``verify`` re-runs that many evenly spaced requests single-shot through
+    a fresh engine and asserts the served outputs are bit-identical.
+    """
+    if mode not in ("poisson", "closed"):
+        raise ValueError(f"mode must be 'poisson' or 'closed', got {mode!r}")
+    functional = server.config.functional
+    graph = server.graph
+    responses: dict[int, InferenceResponse] = {}
+    rejected = 0
+    loop = asyncio.get_running_loop()
+    t0 = loop.time()
+
+    async def one(index: int) -> None:
+        nonlocal rejected
+        x = _request_input(graph, index, seed) if functional else None
+        try:
+            responses[index] = await server.submit(x, timeout_s=timeout_s)
+        except QueueSaturatedError:
+            rejected += 1
+
+    if mode == "poisson":
+        if rate <= 0:
+            raise ValueError(f"poisson mode needs rate > 0, got {rate}")
+        arrival_rng = np.random.default_rng(seed)
+        tasks = []
+        next_at = t0
+        for i in range(requests):
+            next_at += float(arrival_rng.exponential(1.0 / rate))
+            delay = next_at - loop.time()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            tasks.append(asyncio.create_task(one(i)))
+        await asyncio.gather(*tasks)
+    else:
+        counter = iter(range(requests))
+
+        async def client() -> None:
+            for i in counter:
+                await one(i)
+
+        await asyncio.gather(*[client() for _ in range(max(1, concurrency))])
+
+    wall = loop.time() - t0
+
+    verified = 0
+    if verify and functional:
+        verified = _verify_sample(graph, server, responses, seed,
+                                  min(verify, len(responses)))
+
+    stats = server.stats()
+    return LoadgenReport(
+        model=graph.name,
+        mode=mode,
+        requests=requests,
+        completed=len(responses),
+        rejected=rejected,
+        degraded=stats["requests"]["degraded"],
+        timed_out=stats["requests"]["timed_out"],
+        verified=verified,
+        wall_s=wall,
+        throughput_rps=len(responses) / wall if wall > 0 else 0.0,
+        p50_s=stats["latency_s"]["p50"],
+        p99_s=stats["latency_s"]["p99"],
+        mean_batch=stats["batches"]["mean_size"],
+        cache_hit_ratio=stats["plan_cache"]["request_hit_ratio"],
+        cache_lookup_ratio=stats["plan_cache"]["hit_ratio"],
+        cache_entries=stats["plan_cache"]["size"],
+        stats=stats,
+    )
+
+
+def _verify_sample(graph, server: InferenceServer, responses, seed: int,
+                   count: int) -> int:
+    """Differential check: served outputs == single-shot engine outputs."""
+    from repro.core.engine import BrickDLEngine
+
+    engine = BrickDLEngine(graph, spec=server.spec,
+                           strategy_override=server.config.strategy,
+                           brick_override=server.config.brick)
+    plan = engine.compile()
+    # Degraded responses took the cuDNN-fallback plan, a different (allclose
+    # but not bitwise-equal) arithmetic path; the bit-identity contract is
+    # for batched-vs-single-shot on the *same* plan.
+    indices = sorted(i for i, r in responses.items() if not r.degraded)
+    if not indices:
+        return 0
+    picked = [indices[int(i * (len(indices) - 1) / max(count - 1, 1))]
+              for i in range(count)]
+    verified = 0
+    for index in dict.fromkeys(picked):
+        x = _request_input(graph, index, seed)
+        single = engine.run(x, functional=True, plan=plan).outputs
+        served = responses[index].outputs
+        for name, want in single.items():
+            got = served[name]
+            if not np.array_equal(got, want):
+                raise ExecutionError(
+                    f"request {index}: served output {name!r} differs from "
+                    f"single-shot (max |diff| "
+                    f"{np.abs(got - want).max():.3e})")
+        verified += 1
+    return verified
+
+
+def loadgen(server: InferenceServer, **kwargs) -> LoadgenReport:
+    """Synchronous wrapper: start the server, run traffic, close it."""
+    async def _run() -> LoadgenReport:
+        async with server:
+            return await run_loadgen(server, **kwargs)
+
+    return asyncio.run(_run())

@@ -1,0 +1,170 @@
+"""Persistent compiled-plan cache with LRU eviction.
+
+Compilation (partitioning + the brick-size and strategy models) is the
+expensive, batch-dependent step of a BrickDL execution: batch size scales
+every activation volume, which moves the L2-footprint partitioning and
+therefore the whole plan.  The serving layer compiles once per *batch
+bucket* and reuses the plan for every batch that lands in the bucket.
+
+Cache keys digest everything that determines the compiled artifact --
+``(model, batch_bucket, GPUSpec, strategy/brick override)`` -- and each
+entry records the PR-4 :func:`~repro.metrics.manifest.plan_digest` of its
+compiled plan, so manifests and diffs can correlate a served batch with the
+exact plan that ran it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.metrics.manifest import spec_dict
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.core.engine import BrickDLEngine
+    from repro.core.plan import ExecutionPlan, Strategy
+    from repro.gpusim.spec import GPUSpec
+    from repro.metrics.registry import MetricsRegistry
+
+__all__ = ["PlanKey", "CompiledEntry", "PlanCache"]
+
+
+@dataclass(frozen=True)
+class PlanKey:
+    """Everything that determines a compiled plan."""
+
+    model: str
+    batch_bucket: int
+    spec: "GPUSpec"
+    strategy: "Strategy | None" = None
+    brick: int | None = None
+
+    def digest(self) -> str:
+        doc = {
+            "model": self.model,
+            "batch_bucket": self.batch_bucket,
+            "spec": spec_dict(self.spec),
+            "strategy": self.strategy.value if self.strategy else None,
+            "brick": self.brick,
+        }
+        blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+@dataclass
+class CompiledEntry:
+    """One cached compiled artifact: the batched engine + its plan."""
+
+    key: PlanKey
+    engine: "BrickDLEngine"
+    plan: "ExecutionPlan"
+    plan_digest: str
+    # Device spec with cache-sector granularity adapted to this plan's
+    # bricks (what executions of this entry should run against).
+    device_spec: "GPUSpec" = None
+    uses: int = 0
+
+    def describe(self) -> dict:
+        return {
+            "key": self.key.digest(),
+            "model": self.key.model,
+            "batch_bucket": self.key.batch_bucket,
+            "strategy": self.key.strategy.value if self.key.strategy else None,
+            "brick": self.key.brick,
+            "plan_digest": self.plan_digest,
+            "subgraphs": len(self.plan.subgraphs),
+            "uses": self.uses,
+        }
+
+
+@dataclass
+class PlanCache:
+    """LRU cache of :class:`CompiledEntry`, safe for worker threads.
+
+    ``registry`` (optional) receives ``serve_plan_cache_{hits,misses,
+    evictions}`` counters and a ``serve_plan_cache_size`` gauge, so cache
+    behavior lands in the serving manifest alongside the latency metrics.
+    """
+
+    capacity: int = 16
+    registry: "MetricsRegistry | None" = None
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    _entries: "OrderedDict[str, CompiledEntry]" = field(default_factory=OrderedDict)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    _compile_locks: dict = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {self.capacity}")
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def get(self, key: PlanKey) -> CompiledEntry | None:
+        digest = key.digest()
+        with self._lock:
+            entry = self._entries.get(digest)
+            if entry is None:
+                self.misses += 1
+                self._count("serve_plan_cache_misses")
+                return None
+            self._entries.move_to_end(digest)
+            entry.uses += 1
+            self.hits += 1
+            self._count("serve_plan_cache_hits")
+            return entry
+
+    def put(self, entry: CompiledEntry) -> None:
+        digest = entry.key.digest()
+        with self._lock:
+            self._entries[digest] = entry
+            self._entries.move_to_end(digest)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+                self._count("serve_plan_cache_evictions")
+            self._gauge("serve_plan_cache_size", len(self._entries))
+
+    def get_or_compile(self, key: PlanKey,
+                       compile_fn: Callable[[PlanKey], CompiledEntry]) -> tuple[CompiledEntry, bool]:
+        """Return ``(entry, cache_hit)``; compiles and inserts on miss.
+
+        Compiles are serialized per key (outside the entry lock, so other
+        keys stay servable): two devices racing on a cold bucket yield one
+        compile, with the loser waiting and then counting a hit -- it did
+        reuse a cached plan.
+        """
+        digest = key.digest()
+        with self._lock:
+            compile_lock = self._compile_locks.setdefault(digest, threading.Lock())
+        with compile_lock:
+            entry = self.get(key)
+            if entry is not None:
+                return entry, True
+            entry = compile_fn(key)
+            self.put(entry)
+            return entry, False
+
+    def snapshot(self) -> list[dict]:
+        """Per-entry descriptions, LRU-oldest first (for manifests)."""
+        with self._lock:
+            return [e.describe() for e in self._entries.values()]
+
+    def _count(self, name: str) -> None:
+        if self.registry is not None:
+            self.registry.counter(name).inc()
+
+    def _gauge(self, name: str, value: float) -> None:
+        if self.registry is not None:
+            self.registry.gauge(name).set(value)

@@ -1,0 +1,67 @@
+"""Request/response currency of the serving layer.
+
+A request enters the admission queue, rides a dynamic batch through a
+simulated device, and resolves its future with an
+:class:`InferenceResponse` that records how it was served: which batch and
+batch bucket it rode, whether the compiled plan came from the cache,
+whether it degraded to the cuDNN-fallback path, and both wall-clock latency
+(queueing + execution as the event loop saw it) and the simulated device
+time of its batch.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["InferenceRequest", "InferenceResponse", "QueueSaturatedError",
+           "ServerClosedError"]
+
+
+class QueueSaturatedError(RuntimeError):
+    """Admission rejected: the queue is full and the saturation policy is
+    ``reject`` (the client is expected to back off and retry)."""
+
+
+class ServerClosedError(RuntimeError):
+    """Submitted to a server that is not running."""
+
+
+@dataclass
+class InferenceRequest:
+    """One admitted inference request, waiting for its batch."""
+
+    request_id: int
+    # Input activation (``None`` on a profile-mode server: access streams
+    # and timing only, no NumPy arithmetic).
+    input: np.ndarray | None
+    # Absolute event-loop deadline; a request still queued past it is
+    # diverted to the fallback path instead of riding a merged batch.
+    deadline_s: float | None
+    enqueued_s: float
+    future: "asyncio.Future[InferenceResponse]" = field(repr=False, default=None)
+
+    def expired(self, now_s: float) -> bool:
+        return self.deadline_s is not None and now_s > self.deadline_s
+
+
+@dataclass(frozen=True)
+class InferenceResponse:
+    """How one request was served."""
+
+    request_id: int
+    # Primary graph output for this request (its slice of the batch), or
+    # ``None`` on a profile-mode server.
+    output: np.ndarray | None
+    # All graph outputs by name (same slicing), or ``None`` in profile mode.
+    outputs: dict[str, np.ndarray] | None
+    batch_size: int          # how many requests actually rode the batch
+    batch_bucket: int        # padded batch size the plan was compiled for
+    cache_hit: bool          # plan came from the cache (no recompile)
+    degraded: bool           # served by the cuDNN-fallback baseline path
+    timed_out: bool          # deadline passed while queued
+    device: int              # simulated device index that ran the batch
+    latency_s: float         # wall latency: admission -> completion
+    sim_time_s: float        # simulated device time of the whole batch

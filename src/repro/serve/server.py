@@ -1,0 +1,442 @@
+"""The asyncio inference server over the simulated device fleet.
+
+Request lifecycle::
+
+    submit() -> admission queue (bounded; saturation degrades or rejects)
+             -> DynamicBatcher (coalesce up to max_batch / max_wait)
+             -> scheduler (round-robin over N simulated devices, one batch
+                in flight per device -- natural backpressure)
+             -> PlanCache lookup by (model, batch bucket, GPUSpec, override)
+             -> BrickDLEngine.run on a fresh Device built from the cached
+                entry's sector-adapted spec
+             -> per-request response slices resolve the futures
+
+Degradation ladder: a request whose deadline expires while queued, or that
+arrives when the admission queue is saturated (policy ``degrade``), skips
+batching and runs single-shot through the cuDNN-fallback baseline path --
+the vendor-library execution the paper falls back to for unmergeable work
+(section 3.3.3) -- so the server sheds load by serving *slower, cheaper*
+rather than dropping.  Policy ``reject`` turns saturation into
+:class:`~repro.serve.request.QueueSaturatedError` instead.
+
+Everything executes on the *simulated* device, so "latency" is wall time
+of the simulation (queueing is real; execution cost is the simulator's
+Python time), while each response also carries the simulated device time
+of its batch.  Serve-path metrics flow into a
+:class:`~repro.metrics.MetricsRegistry` and out through
+:func:`~repro.metrics.manifest_from_serve`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.engine import BrickDLEngine
+from repro.core.plan import Strategy
+from repro.errors import ExecutionError
+from repro.graph.ir import Graph
+from repro.gpusim.device import Device
+from repro.gpusim.spec import A100, GPUSpec
+from repro.metrics import (
+    BATCH_BUCKETS,
+    LATENCY_BUCKETS_S,
+    MetricsRegistry,
+    RunManifest,
+    manifest_from_serve,
+)
+from repro.serve.batcher import DynamicBatcher, batch_bucket
+from repro.serve.plancache import CompiledEntry, PlanCache, PlanKey
+from repro.serve.request import (
+    InferenceRequest,
+    InferenceResponse,
+    QueueSaturatedError,
+    ServerClosedError,
+)
+
+__all__ = ["ServeConfig", "InferenceServer"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Tunables of one serving session."""
+
+    devices: int = 2             # simulated device fleet size
+    max_batch: int = 8           # dynamic batcher cap (and largest bucket)
+    max_wait_s: float = 0.02     # batcher hold on the head request
+    queue_depth: int = 64        # admission queue bound (backpressure)
+    cache_capacity: int = 16     # compiled-plan LRU entries
+    saturation_policy: str = "degrade"   # "degrade" | "reject"
+    functional: bool = True      # False: profile mode (no NumPy arithmetic)
+    strategy: Strategy | None = None     # engine strategy override
+    brick: int | None = None             # engine brick override
+    default_timeout_s: float | None = None  # per-request deadline default
+
+    def __post_init__(self) -> None:
+        if self.devices < 1:
+            raise ValueError(f"devices must be >= 1, got {self.devices}")
+        if self.queue_depth < 1:
+            raise ValueError(f"queue_depth must be >= 1, got {self.queue_depth}")
+        if self.saturation_policy not in ("degrade", "reject"):
+            raise ValueError(
+                f"saturation_policy must be 'degrade' or 'reject', "
+                f"got {self.saturation_policy!r}")
+
+
+class InferenceServer:
+    """Serve one model graph from a dynamic-batching asyncio loop."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        spec: GPUSpec = A100,
+        config: ServeConfig = ServeConfig(),
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        graph.validate()
+        if any(n.spec.batch != 1 for n in graph.input_nodes):
+            raise ExecutionError(
+                "serve graphs must be built at batch 1; the server rebatches "
+                "per bucket itself")
+        self.graph = graph
+        self.spec = spec
+        self.config = config
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.registry.set_base(model=graph.name)
+        self.cache = PlanCache(capacity=config.cache_capacity, registry=self.registry)
+        if config.functional:
+            graph.init_weights()
+
+        self._queue: asyncio.Queue[InferenceRequest] | None = None
+        self._batcher: DynamicBatcher | None = None
+        self._tasks: list[asyncio.Task] = []
+        self._device_queues: list[asyncio.Queue] = []
+        self._pending: set[asyncio.Future] = set()
+        self._ids = itertools.count()
+        self._running = False
+        self._started_s = 0.0
+        self._stopped_s: float | None = None
+
+        # Request counters mirrored into the registry (kept as plain ints
+        # too so stats() never has to scan samples).
+        self.completed = 0
+        self.degraded = 0
+        self.timed_out = 0
+        self.rejected = 0
+        self.batches = 0
+        # Requests that rode an already-cached plan (no compile in their
+        # critical path) -- the request-weighted cache hit numerator.
+        self.cached_plan_requests = 0
+
+    # -- lifecycle ----------------------------------------------------------
+    async def start(self) -> "InferenceServer":
+        if self._running:
+            return self
+        loop = asyncio.get_running_loop()
+        self._queue = asyncio.Queue(maxsize=self.config.queue_depth)
+        self._batcher = DynamicBatcher(
+            self._queue, max_batch=self.config.max_batch,
+            max_wait_s=self.config.max_wait_s)
+        self._device_queues = [asyncio.Queue(maxsize=1)
+                               for _ in range(self.config.devices)]
+        self._tasks = [asyncio.create_task(self._schedule_loop(),
+                                           name="serve/scheduler")]
+        self._tasks += [
+            asyncio.create_task(self._device_loop(i), name=f"serve/device{i}")
+            for i in range(self.config.devices)
+        ]
+        self._running = True
+        self._started_s = loop.time()
+        self._stopped_s = None
+        return self
+
+    async def close(self) -> None:
+        """Graceful shutdown: serve everything admitted, then stop."""
+        if not self._running:
+            return
+        self._running = False  # no new admissions
+        if self._pending:
+            await asyncio.gather(*list(self._pending), return_exceptions=True)
+        for task in self._tasks:
+            task.cancel()
+        await asyncio.gather(*self._tasks, return_exceptions=True)
+        self._tasks = []
+        self._stopped_s = asyncio.get_running_loop().time()
+
+    async def __aenter__(self) -> "InferenceServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    # -- admission ----------------------------------------------------------
+    async def submit(
+        self,
+        x: np.ndarray | None = None,
+        timeout_s: float | None = None,
+    ) -> InferenceResponse:
+        """Admit one request and await its response.
+
+        ``x`` is the input activation (shape of the graph's batch-1 input);
+        ``None`` is only valid on a profile-mode server.  ``timeout_s``
+        (default :attr:`ServeConfig.default_timeout_s`) sets the queueing
+        deadline: a request still waiting past it degrades to the fallback
+        path rather than riding a batch.
+        """
+        if not self._running:
+            raise ServerClosedError(f"server for {self.graph.name!r} is not running")
+        if self.config.functional and x is None:
+            raise ExecutionError("functional server requires an input array")
+        loop = asyncio.get_running_loop()
+        timeout_s = timeout_s if timeout_s is not None else self.config.default_timeout_s
+        now = loop.time()
+        req = InferenceRequest(
+            request_id=next(self._ids),
+            input=None if x is None else np.asarray(x, dtype=np.float32),
+            deadline_s=now + timeout_s if timeout_s is not None else None,
+            enqueued_s=now,
+            future=loop.create_future(),
+        )
+        self._pending.add(req.future)
+        req.future.add_done_callback(self._pending.discard)
+        try:
+            self._queue.put_nowait(req)
+        except asyncio.QueueFull:
+            if self.config.saturation_policy == "reject":
+                self.rejected += 1
+                self.registry.counter("serve_requests_rejected").inc()
+                req.future.cancel()
+                raise QueueSaturatedError(
+                    f"admission queue full ({self.config.queue_depth}); retry later"
+                ) from None
+            # Graceful degradation: shed to the single-shot fallback path.
+            self.registry.counter("serve_saturation_fallbacks").inc()
+            await self._serve_fallback(req, timed_out=False)
+            return await req.future
+        self._observe_queue_depth()
+        return await req.future
+
+    def _observe_queue_depth(self) -> None:
+        depth = self._queue.qsize() if self._queue is not None else 0
+        self.registry.gauge("serve_queue_depth").set(depth)
+        self.registry.histogram("serve_queue_depth_hist",
+                                buckets=BATCH_BUCKETS).observe(depth)
+
+    # -- scheduling ---------------------------------------------------------
+    async def _schedule_loop(self) -> None:
+        """Round-robin formed batches across the device fleet.
+
+        ``await put`` on a size-1 device queue is the backpressure: batch
+        formation stalls while every device is busy, which in turn lets the
+        admission queue fill and the saturation policy engage.
+        """
+        device = 0
+        while True:
+            batch = await self._batcher.next_batch()
+            await self._device_queues[device].put(batch)
+            device = (device + 1) % self.config.devices
+
+    async def _device_loop(self, index: int) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            batch = await self._device_queues[index].get()
+            self._observe_queue_depth()
+            # Timeout -> fallback degradation: requests whose deadline
+            # lapsed while queued leave the batch and run single-shot.
+            now = loop.time()
+            expired = [r for r in batch if r.expired(now)]
+            live = [r for r in batch if not r.expired(now)]
+            for req in expired:
+                self.timed_out += 1
+                self.registry.counter("serve_requests_timed_out").inc()
+                await self._serve_fallback(req, timed_out=True, device=index)
+            if live:
+                await self._serve_batch(live, index)
+
+    # -- execution ----------------------------------------------------------
+    async def _serve_batch(self, batch: list[InferenceRequest], device: int) -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            outputs, bucket, hit, sim_s = await asyncio.to_thread(
+                self._execute, batch, batch_bucket(len(batch), self.config.max_batch))
+        except Exception as exc:  # resolve, never wedge the worker
+            for req in batch:
+                if not req.future.done():
+                    req.future.set_exception(exc)
+            return
+        self.batches += 1
+        self.registry.counter("serve_batches").inc()
+        self.registry.counter("serve_device_batches", device=device).inc()
+        self.registry.counter("serve_sim_time_s").inc(sim_s)
+        self.registry.histogram("serve_batch_size",
+                                buckets=BATCH_BUCKETS).observe(len(batch))
+        if hit:
+            self.cached_plan_requests += len(batch)
+            self.registry.counter("serve_requests_on_cached_plan").inc(len(batch))
+        now = loop.time()
+        for i, req in enumerate(batch):
+            self._resolve(req, InferenceResponse(
+                request_id=req.request_id,
+                output=None if outputs is None else _primary(outputs, i),
+                outputs=None if outputs is None else _slice(outputs, i),
+                batch_size=len(batch),
+                batch_bucket=bucket,
+                cache_hit=hit,
+                degraded=False,
+                timed_out=False,
+                device=device,
+                latency_s=now - req.enqueued_s,
+                sim_time_s=sim_s,
+            ))
+
+    async def _serve_fallback(self, req: InferenceRequest, timed_out: bool,
+                              device: int = -1) -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            outputs, bucket, hit, sim_s = await asyncio.to_thread(
+                self._execute, [req], 1, Strategy.CUDNN)
+        except Exception as exc:
+            if not req.future.done():
+                req.future.set_exception(exc)
+            return
+        self.degraded += 1
+        self.registry.counter("serve_requests_degraded").inc()
+        if hit:
+            self.cached_plan_requests += 1
+            self.registry.counter("serve_requests_on_cached_plan").inc()
+        self._resolve(req, InferenceResponse(
+            request_id=req.request_id,
+            output=None if outputs is None else _primary(outputs, 0),
+            outputs=None if outputs is None else _slice(outputs, 0),
+            batch_size=1,
+            batch_bucket=bucket,
+            cache_hit=hit,
+            degraded=True,
+            timed_out=timed_out,
+            device=device,
+            latency_s=loop.time() - req.enqueued_s,
+            sim_time_s=sim_s,
+        ))
+
+    def _resolve(self, req: InferenceRequest, response: InferenceResponse) -> None:
+        self.completed += 1
+        self.registry.counter("serve_requests_completed").inc()
+        path = "fallback" if response.degraded else "merged"
+        self.registry.histogram("serve_latency_s", buckets=LATENCY_BUCKETS_S,
+                                path=path).observe(response.latency_s)
+        if not req.future.done():
+            req.future.set_result(response)
+
+    # Runs in a worker thread (asyncio.to_thread): everything here is
+    # CPU-bound simulation; the event loop keeps admitting meanwhile.
+    def _execute(self, batch: list[InferenceRequest], bucket: int,
+                 strategy: Strategy | None = None):
+        strategy = strategy if strategy is not None else self.config.strategy
+        key = PlanKey(model=self.graph.name, batch_bucket=bucket,
+                      spec=self.spec, strategy=strategy,
+                      brick=self.config.brick)
+        entry, hit = self.cache.get_or_compile(key, self._compile)
+        inputs = None
+        if self.config.functional:
+            spec = self.graph.input_nodes[0].spec
+            stacked = np.zeros((bucket, *spec.shape[1:]), dtype=spec.dtype)
+            for i, req in enumerate(batch):
+                stacked[i:i + 1] = req.input
+            inputs = stacked
+        device = Device(entry.device_spec)
+        result = entry.engine.run(inputs=inputs,
+                                  functional=self.config.functional,
+                                  device=device, plan=entry.plan)
+        return result.outputs, bucket, hit, result.metrics.total_time
+
+    def _compile(self, key: PlanKey) -> CompiledEntry:
+        from repro.bench.harness import adapt_sectors
+
+        engine = BrickDLEngine(
+            self.graph, spec=key.spec,
+            strategy_override=key.strategy, brick_override=key.brick,
+        ).for_batch(key.batch_bucket)
+        plan = engine.compile()
+        return CompiledEntry(
+            key=key, engine=engine, plan=plan, plan_digest=plan.digest(),
+            device_spec=adapt_sectors(key.spec, plan),
+        )
+
+    # -- reporting ----------------------------------------------------------
+    def _wall_s(self) -> float:
+        if not self._started_s:
+            return 0.0
+        try:
+            end = self._stopped_s if self._stopped_s is not None \
+                else asyncio.get_running_loop().time()
+        except RuntimeError:  # no running loop (stats after the event loop)
+            end = self._stopped_s if self._stopped_s is not None else self._started_s
+        return max(end - self._started_s, 0.0)
+
+    def latency_quantile(self, q: float) -> float:
+        """``q``-quantile of served latencies, read off the registry."""
+        hists = [s for s in self.registry.samples()
+                 if s.name == "serve_latency_s" and s.histogram]
+        from repro.metrics.registry import Histogram
+        merged = Histogram(buckets=LATENCY_BUCKETS_S)
+        for s in hists:
+            merged.counts = [a + b for a, b in zip(merged.counts, s.histogram["counts"])]
+            merged.count += s.histogram["count"]
+            merged.sum += s.histogram["sum"]
+        return merged.quantile(q)
+
+    def stats(self) -> dict:
+        """Serve-path rollup (the ``metrics.serve`` block of the manifest)."""
+        wall = self._wall_s()
+        batch_hist = self.registry.histogram("serve_batch_size", buckets=BATCH_BUCKETS)
+        return {
+            "requests": {
+                "completed": self.completed,
+                "degraded": self.degraded,
+                "timed_out": self.timed_out,
+                "rejected": self.rejected,
+            },
+            "latency_s": {
+                "p50": self.latency_quantile(0.50),
+                "p99": self.latency_quantile(0.99),
+            },
+            "batches": {
+                "count": self.batches,
+                "mean_size": batch_hist.mean,
+            },
+            "plan_cache": {
+                "hits": self.cache.hits,
+                "misses": self.cache.misses,
+                "evictions": self.cache.evictions,
+                "hit_ratio": self.cache.hit_ratio,
+                # Fraction of requests whose batch rode an already-compiled
+                # plan: the serving-level number (a warm max-batch bucket
+                # serves 8 requests per lookup).
+                "request_hit_ratio": (self.cached_plan_requests / self.completed
+                                      if self.completed else 0.0),
+                "size": len(self.cache),
+            },
+            "sim_time_s": self.registry.counter("serve_sim_time_s").value,
+            "wall_s": wall,
+            "throughput_rps": self.completed / wall if wall > 0 else 0.0,
+        }
+
+    def manifest(self, label: str = "serve", scale: str | None = None) -> RunManifest:
+        """The serving session as a diffable run manifest."""
+        return manifest_from_serve(
+            self.graph.name, self.registry, self.spec,
+            cached_plans=self.cache.snapshot(),
+            serve_stats=self.stats(),
+            label=label, scale=scale,
+        )
+
+
+def _slice(outputs: dict[str, np.ndarray], i: int) -> dict[str, np.ndarray]:
+    return {k: v[i:i + 1] for k, v in outputs.items()}
+
+
+def _primary(outputs: dict[str, np.ndarray], i: int) -> np.ndarray:
+    return next(iter(outputs.values()))[i:i + 1]

@@ -1,4 +1,13 @@
-"""Pytest fixtures for the test suite (helpers live in testlib.py)."""
+"""Pytest fixtures for the test suite (helpers live in testlib.py).
+
+Also provides a minimal fallback for the ``timeout`` ini option when the
+``pytest-timeout`` plugin is not installed (the dev container has no
+network access for installs): each test runs under a SIGALRM watchdog that
+fails it with a timeout message after the budget elapses.  When the real
+plugin is present it owns the option and the fallback stands down.
+"""
+
+import signal
 
 import numpy as np
 import pytest
@@ -7,3 +16,61 @@ import pytest
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(1234)
+
+
+# ---------------------------------------------------------------------------
+# pytest-timeout fallback (SIGALRM watchdog)
+# ---------------------------------------------------------------------------
+
+def _has_timeout_plugin(config) -> bool:
+    return config.pluginmanager.hasplugin("timeout")
+
+
+def pytest_addoption(parser):
+    # The real plugin registers this ini option itself; only claim it when
+    # the plugin is absent so the fallback can read it.
+    try:
+        parser.addini("timeout", "per-test timeout in seconds (fallback shim)",
+                      default=None)
+    except ValueError:
+        pass  # already registered by pytest-timeout
+
+
+def _budget_s(item) -> float:
+    marker = item.get_closest_marker("timeout")
+    if marker and marker.args:
+        return float(marker.args[0])
+    value = item.config.getini("timeout")
+    try:
+        return float(value) if value else 0.0
+    except (TypeError, ValueError):
+        return 0.0
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    budget = 0.0 if _has_timeout_plugin(item.config) else _budget_s(item)
+    use_alarm = (budget > 0 and hasattr(signal, "SIGALRM")
+                 and signal.getsignal(signal.SIGALRM) in
+                 (signal.SIG_DFL, signal.SIG_IGN, signal.default_int_handler))
+
+    def _expired(signum, frame):
+        pytest.fail(f"test exceeded the {budget:.0f}s timeout "
+                    f"(conftest SIGALRM fallback)", pytrace=False)
+
+    if use_alarm:
+        previous = signal.signal(signal.SIGALRM, _expired)
+        signal.alarm(int(budget))
+    try:
+        yield
+    finally:
+        if use_alarm:
+            signal.alarm(0)
+            signal.signal(signal.SIGALRM, previous)
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "timeout(seconds): per-test timeout (pytest-timeout or the "
+        "conftest SIGALRM fallback)")

@@ -1,0 +1,393 @@
+"""Serving layer: batcher, plan cache, server lifecycle, degradation paths."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core.plan import Strategy
+from repro.gpusim.spec import A100, GPUSpec
+from repro.metrics import MetricsRegistry
+from repro.serve import (
+    DynamicBatcher,
+    InferenceServer,
+    PlanCache,
+    PlanKey,
+    QueueSaturatedError,
+    ServeConfig,
+    batch_bucket,
+    loadgen,
+    run_loadgen,
+)
+from repro.serve.plancache import CompiledEntry
+from repro.serve.request import InferenceRequest, ServerClosedError
+
+from testlib import input_for, small_chain_graph
+
+
+def _request(loop, request_id=0, deadline_s=None):
+    now = loop.time()
+    return InferenceRequest(
+        request_id=request_id, input=None,
+        deadline_s=None if deadline_s is None else now + deadline_s,
+        enqueued_s=now, future=loop.create_future())
+
+
+def profile_server(graph=None, **overrides) -> InferenceServer:
+    graph = graph if graph is not None else small_chain_graph(name="serve_chain")
+    overrides.setdefault("functional", False)
+    overrides.setdefault("max_wait_s", 0.005)
+    return InferenceServer(graph, config=ServeConfig(**overrides))
+
+
+# ---------------------------------------------------------------------------
+# batch buckets
+# ---------------------------------------------------------------------------
+
+def test_batch_bucket_rounds_up_to_power_of_two():
+    assert [batch_bucket(n, 8) for n in (1, 2, 3, 4, 5, 7, 8)] == \
+        [1, 2, 4, 4, 8, 8, 8]
+
+
+def test_batch_bucket_caps_at_max_batch():
+    assert batch_bucket(5, 4) == 5  # never smaller than the batch itself
+    assert batch_bucket(3, 4) == 4
+
+
+def test_batch_bucket_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        batch_bucket(0, 8)
+
+
+# ---------------------------------------------------------------------------
+# dynamic batcher
+# ---------------------------------------------------------------------------
+
+def test_batcher_coalesces_queued_requests():
+    async def scenario():
+        loop = asyncio.get_running_loop()
+        queue = asyncio.Queue()
+        batcher = DynamicBatcher(queue, max_batch=4, max_wait_s=0.05)
+        for i in range(6):
+            queue.put_nowait(_request(loop, i))
+        first = await batcher.next_batch()
+        second = await batcher.next_batch()
+        return first, second
+
+    first, second = asyncio.run(scenario())
+    assert [r.request_id for r in first] == [0, 1, 2, 3]  # capped at max_batch
+    assert [r.request_id for r in second] == [4, 5]       # flushed on timeout
+
+
+def test_batcher_head_anchored_wait_admits_stragglers():
+    async def scenario():
+        loop = asyncio.get_running_loop()
+        queue = asyncio.Queue()
+        batcher = DynamicBatcher(queue, max_batch=8, max_wait_s=0.2)
+        queue.put_nowait(_request(loop, 0))
+
+        async def straggler():
+            await asyncio.sleep(0.02)
+            queue.put_nowait(_request(loop, 1))
+
+        task = asyncio.create_task(straggler())
+        batch = await batcher.next_batch()
+        await task
+        return batch
+
+    batch = asyncio.run(scenario())
+    assert [r.request_id for r in batch] == [0, 1]
+
+
+def test_batcher_flushes_early_for_head_deadline():
+    async def scenario():
+        loop = asyncio.get_running_loop()
+        queue = asyncio.Queue()
+        # max_wait is huge; only the head's deadline can trigger the flush.
+        batcher = DynamicBatcher(queue, max_batch=8, max_wait_s=10.0)
+        queue.put_nowait(_request(loop, 0, deadline_s=0.03))
+        t0 = loop.time()
+        batch = await batcher.next_batch()
+        return batch, loop.time() - t0
+
+    batch, waited = asyncio.run(scenario())
+    assert [r.request_id for r in batch] == [0]
+    assert waited < 1.0  # flushed around the deadline, not max_wait
+
+
+def test_batcher_validates_parameters():
+    queue = asyncio.Queue()
+    with pytest.raises(ValueError):
+        DynamicBatcher(queue, max_batch=0)
+    with pytest.raises(ValueError):
+        DynamicBatcher(queue, max_wait_s=-1.0)
+
+
+# ---------------------------------------------------------------------------
+# plan cache
+# ---------------------------------------------------------------------------
+
+def _entry(key: PlanKey) -> CompiledEntry:
+    class _Plan:
+        subgraphs = ()
+
+    return CompiledEntry(key=key, engine=None, plan=_Plan(),
+                         plan_digest="d" * 16, device_spec=A100)
+
+
+def _key(bucket: int, model: str = "m", **kwargs) -> PlanKey:
+    return PlanKey(model=model, batch_bucket=bucket, spec=A100, **kwargs)
+
+
+def test_plan_key_digest_covers_every_field():
+    base = _key(4)
+    assert base.digest() == _key(4).digest()
+    assert base.digest() != _key(8).digest()
+    assert base.digest() != _key(4, model="other").digest()
+    assert base.digest() != _key(4, strategy=Strategy.PADDED).digest()
+    assert base.digest() != _key(4, brick=16).digest()
+    small = GPUSpec(name="tiny", l2_bytes=A100.l2_bytes // 2)
+    assert base.digest() != PlanKey(model="m", batch_bucket=4, spec=small).digest()
+
+
+def test_plan_cache_hit_after_warmup_and_counters():
+    registry = MetricsRegistry()
+    cache = PlanCache(capacity=4, registry=registry)
+    key = _key(2)
+    compiles = []
+
+    def compile_fn(k):
+        compiles.append(k)
+        return _entry(k)
+
+    entry, hit = cache.get_or_compile(key, compile_fn)
+    assert not hit and len(compiles) == 1
+    entry2, hit2 = cache.get_or_compile(key, compile_fn)
+    assert hit2 and entry2 is entry and len(compiles) == 1  # warm: no recompile
+    assert cache.hits == 1 and cache.misses == 1
+    assert cache.hit_ratio == 0.5
+    assert registry.counter("serve_plan_cache_hits").value == 1
+    assert registry.counter("serve_plan_cache_misses").value == 1
+
+
+def test_plan_cache_lru_eviction():
+    cache = PlanCache(capacity=2)
+    cache.put(_entry(_key(1)))
+    cache.put(_entry(_key(2)))
+    assert cache.get(_key(1)) is not None  # touch 1 -> 2 becomes LRU
+    cache.put(_entry(_key(4)))             # evicts bucket 2
+    assert cache.evictions == 1
+    assert cache.get(_key(2)) is None
+    assert cache.get(_key(1)) is not None
+    assert cache.get(_key(4)) is not None
+    assert len(cache) == 2
+
+
+def test_plan_cache_snapshot_describes_entries():
+    cache = PlanCache(capacity=2)
+    cache.put(_entry(_key(2, strategy=Strategy.WAVEFRONT)))
+    (desc,) = cache.snapshot()
+    assert desc["batch_bucket"] == 2
+    assert desc["strategy"] == "wavefront"
+    assert desc["plan_digest"] == "d" * 16
+
+
+def test_plan_cache_rejects_zero_capacity():
+    with pytest.raises(ValueError):
+        PlanCache(capacity=0)
+
+
+# ---------------------------------------------------------------------------
+# server end-to-end
+# ---------------------------------------------------------------------------
+
+def test_serve_requires_batch_one_graph():
+    from repro.errors import ExecutionError
+    from repro.graph.transforms import rebatch_graph
+
+    batched = rebatch_graph(small_chain_graph(), 4)
+    with pytest.raises(ExecutionError, match="batch 1"):
+        InferenceServer(batched)
+
+
+def test_serve_config_validation():
+    with pytest.raises(ValueError):
+        ServeConfig(devices=0)
+    with pytest.raises(ValueError):
+        ServeConfig(queue_depth=0)
+    with pytest.raises(ValueError):
+        ServeConfig(saturation_policy="drop")
+
+
+def test_submit_on_closed_server_raises():
+    server = profile_server()
+    with pytest.raises(ServerClosedError):
+        asyncio.run(server.submit(None))
+
+
+def test_serve_closed_loop_cache_warmup_and_stats():
+    server = profile_server(devices=2, max_batch=4, cache_capacity=4)
+    report = loadgen(server, requests=24, mode="closed", concurrency=6)
+    assert report.completed == 24
+    assert report.rejected == 0
+    stats = server.stats()
+    assert stats["requests"]["completed"] == 24
+    # Warmup compiles at most one plan per pow2 bucket; everything after
+    # rides the cache.
+    assert stats["plan_cache"]["misses"] <= 3  # buckets 1, 2, 4
+    assert stats["plan_cache"]["hits"] > 0
+    assert stats["plan_cache"]["request_hit_ratio"] > 0.5
+    assert stats["batches"]["count"] == server.batches > 0
+    assert stats["latency_s"]["p99"] >= stats["latency_s"]["p50"] > 0
+    assert stats["throughput_rps"] > 0
+    assert stats["sim_time_s"] > 0
+
+
+def test_serve_functional_batched_matches_single_shot():
+    graph = small_chain_graph(name="serve_func")
+    server = InferenceServer(
+        graph, config=ServeConfig(devices=1, max_batch=4, max_wait_s=0.005))
+
+    async def scenario():
+        async with server:
+            # verify=4 re-runs responses single-shot and raises on any
+            # bitwise difference.
+            return await run_loadgen(server, requests=8, mode="closed",
+                                     concurrency=4, verify=4)
+
+    report = asyncio.run(scenario())
+    assert report.completed == 8
+    assert report.verified == 4
+
+
+def test_serve_backpressure_rejects_when_saturated():
+    server = profile_server(devices=1, max_batch=2, queue_depth=1,
+                            saturation_policy="reject")
+
+    async def scenario():
+        async with server:
+            results = await asyncio.gather(
+                *[server.submit(None) for _ in range(16)],
+                return_exceptions=True)
+        return results
+
+    results = asyncio.run(scenario())
+    served = [r for r in results if not isinstance(r, Exception)]
+    rejected = [r for r in results if isinstance(r, QueueSaturatedError)]
+    assert len(served) + len(rejected) == 16
+    assert rejected, "queue_depth=1 under a 16-burst must shed load"
+    assert server.rejected == len(rejected)
+    assert not any(r.degraded for r in served)  # reject policy never degrades
+
+
+def test_serve_saturation_degrades_to_fallback():
+    server = profile_server(devices=1, max_batch=2, queue_depth=1,
+                            saturation_policy="degrade")
+
+    async def scenario():
+        async with server:
+            return await asyncio.gather(
+                *[server.submit(None) for _ in range(16)])
+
+    results = asyncio.run(scenario())
+    assert len(results) == 16
+    degraded = [r for r in results if r.degraded]
+    assert degraded, "degrade policy must shed load via the fallback path"
+    assert server.rejected == 0
+    assert all(r.batch_size == 1 for r in degraded)  # fallback is single-shot
+
+
+def test_serve_timeout_degrades_to_fallback():
+    # deadline 0: every request expires while queued and must take the
+    # single-shot cuDNN-fallback path instead of riding a batch.
+    server = profile_server(devices=1, default_timeout_s=0.0)
+
+    async def scenario():
+        async with server:
+            return await asyncio.gather(
+                *[server.submit(None) for _ in range(6)])
+
+    results = asyncio.run(scenario())
+    assert all(r.timed_out and r.degraded for r in results)
+    assert server.timed_out == 6
+    stats = server.stats()
+    assert stats["requests"]["timed_out"] == 6
+    assert stats["requests"]["degraded"] == 6
+
+
+def test_serve_metrics_land_in_manifest():
+    server = profile_server(devices=2, max_batch=4)
+    loadgen(server, requests=12, mode="closed", concurrency=4)
+    manifest = server.manifest(label="test", scale="small")
+    doc = manifest.as_dict()
+    assert doc["label"] == "test"
+    assert doc["model"] == server.graph.name
+    serve = doc["metrics"]["serve"]
+    assert serve["requests"]["completed"] == 12
+    assert serve["plan_cache"]["hits"] > 0
+    assert doc["plan"]["cached"], "manifest must list the cached plans"
+    for entry in doc["plan"]["cached"]:
+        assert entry["plan_digest"]
+        assert entry["batch_bucket"] >= 1
+    names = {s["name"] for s in doc["registry"]["series"]}
+    assert "serve_latency_s" in names
+    assert "serve_batch_size" in names
+    assert "serve_queue_depth" in names
+
+
+def test_loadgen_poisson_seeded_inputs_are_deterministic():
+    from repro.serve.loadgen import _request_input
+
+    graph = small_chain_graph()
+    a = _request_input(graph, 3, seed=7)
+    b = _request_input(graph, 3, seed=7)
+    c = _request_input(graph, 4, seed=7)
+    assert np.array_equal(a, b)
+    assert not np.array_equal(a, c)
+    assert a.shape == graph.input_nodes[0].spec.shape
+
+
+def test_loadgen_rejects_bad_mode_and_rate():
+    server = profile_server()
+
+    async def bad_mode():
+        async with server:
+            await run_loadgen(server, requests=1, mode="bursty")
+
+    with pytest.raises(ValueError, match="mode"):
+        asyncio.run(bad_mode())
+
+    server2 = profile_server()
+
+    async def bad_rate():
+        async with server2:
+            await run_loadgen(server2, requests=1, mode="poisson", rate=0.0)
+
+    with pytest.raises(ValueError, match="rate"):
+        asyncio.run(bad_rate())
+
+
+def test_rebatch_graph_shares_weights_and_engine_for_batch():
+    from repro.core.engine import BrickDLEngine
+    from repro.graph.transforms import rebatch_graph
+
+    graph = small_chain_graph(name="rebatch")
+    graph.init_weights()
+    batched = rebatch_graph(graph, 4)
+    assert batched is not graph
+    assert all(n.spec.batch == 4 for n in batched.input_nodes)
+    for node in graph.nodes:
+        if node.weights:
+            twin = batched.node(node.name)
+            assert twin.weights is node.weights  # shared, not copied
+    assert rebatch_graph(graph, 1) is graph  # no-op at the same batch
+
+    engine = BrickDLEngine(graph)
+    engine4 = engine.for_batch(4)
+    assert all(n.spec.batch == 4 for n in engine4.graph.input_nodes)
+    x = input_for(graph, seed=0)
+    single = engine.run(x, functional=True).outputs
+    stacked = np.concatenate([x] * 4, axis=0)
+    batched_out = engine4.run(stacked, functional=True).outputs
+    for name, want in single.items():
+        assert np.array_equal(batched_out[name][0:1], want)

@@ -1,0 +1,145 @@
+"""Empirical plan tuner: measured winners, agreement stats, plan rewrite."""
+
+import pytest
+
+from repro.core.engine import BrickDLEngine
+from repro.core.plan import Strategy
+from repro.core.tuner import (
+    MERGED_STRATEGIES,
+    TunedChoice,
+    TuningReport,
+    tune_plan,
+)
+from repro.gpusim.device import Device
+from repro.gpusim.spec import A100
+
+from testlib import small_chain_graph
+
+
+def _choice(strategy=Strategy.PADDED, brick=32, time=1.0,
+            model_strategy=Strategy.PADDED, model_brick=32, model_time=1.0,
+            index=0):
+    return TunedChoice(index=index, strategy=strategy, brick=brick, time=time,
+                       model_strategy=model_strategy, model_brick=model_brick,
+                       model_time=model_time)
+
+
+# ---------------------------------------------------------------------------
+# TunedChoice / TuningReport accounting
+# ---------------------------------------------------------------------------
+
+def test_tuned_choice_agreement_flags():
+    agree = _choice()
+    assert agree.model_agrees_strategy and agree.model_agrees_brick
+    differs = _choice(strategy=Strategy.WAVEFRONT, brick=16)
+    assert not differs.model_agrees_strategy
+    assert not differs.model_agrees_brick
+
+
+def test_gain_over_model_sign_convention():
+    # Tuned faster than the model's pick -> positive fractional gain.
+    faster = _choice(time=0.75, model_time=1.0)
+    assert faster.gain_over_model == pytest.approx(0.25)
+    # The model's own configuration is never beaten by itself: zero gain.
+    same = _choice(time=1.0, model_time=1.0)
+    assert same.gain_over_model == pytest.approx(0.0)
+    # Degenerate model time guards against division by zero.
+    assert _choice(time=1.0, model_time=0.0).gain_over_model == 0.0
+
+
+def test_tuning_report_agreement_ratios():
+    report = TuningReport(choices=[
+        _choice(index=0),                                    # both agree
+        _choice(index=1, strategy=Strategy.MEMOIZED),        # strategy differs
+        _choice(index=2, brick=8),                           # brick differs
+        _choice(index=3, strategy=Strategy.WAVEFRONT, brick=8),  # neither
+    ])
+    assert report.strategy_agreement == pytest.approx(0.5)
+    assert report.brick_agreement == pytest.approx(0.5)
+
+
+def test_tuning_report_empty_is_full_agreement():
+    report = TuningReport()
+    assert report.strategy_agreement == 1.0
+    assert report.brick_agreement == 1.0
+    assert "Tuned 0 subgraphs" in report.summary()
+
+
+def test_tuning_report_summary_marks_disagreements():
+    report = TuningReport(choices=[
+        _choice(index=0),
+        _choice(index=1, strategy=Strategy.WAVEFRONT, time=0.5),
+    ])
+    summary = report.summary()
+    assert "[=] subgraph 0" in summary
+    assert "[!] subgraph 1" in summary
+    assert "+50.0%" in summary  # tuning gain rendered with its sign
+
+
+# ---------------------------------------------------------------------------
+# tune_plan end-to-end
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def tuned():
+    graph = small_chain_graph(name="tuner_chain")
+    plan, report = tune_plan(graph, bricks=(16, 32))
+    return graph, plan, report
+
+
+def test_tune_plan_covers_every_merged_subgraph(tuned):
+    graph, plan, report = tuned
+    base_plan = BrickDLEngine(graph).compile()
+    merged = [s for s in base_plan.subgraphs if s.is_merged]
+    assert merged, "fixture graph must produce merged subgraphs"
+    assert len(report.choices) == len(merged)
+    assert {c.index for c in report.choices} == {s.index for s in merged}
+    # Unmerged subgraphs pass through untouched.
+    assert len(plan.subgraphs) == len(base_plan.subgraphs)
+    for before, after in zip(base_plan.subgraphs, plan.subgraphs):
+        if not before.is_merged:
+            assert after.strategy is before.strategy
+            assert after.subgraph.node_ids == before.subgraph.node_ids
+            assert after.reason == before.reason
+
+
+def test_tune_plan_never_picks_a_slower_winner(tuned):
+    _, _, report = tuned
+    for choice in report.choices:
+        assert choice.strategy in MERGED_STRATEGIES
+        assert choice.time > 0
+        # The measured winner is at least as fast as the static model's
+        # configuration, so the tuning gain is never negative.
+        assert choice.time <= choice.model_time
+        assert choice.gain_over_model >= 0.0
+
+
+def test_tune_plan_rewrites_subgraph_plans(tuned):
+    graph, plan, report = tuned
+    by_index = {c.index: c for c in report.choices}
+    for sub in plan.subgraphs:
+        choice = by_index.get(sub.index)
+        if choice is None:
+            continue
+        assert sub.strategy is choice.strategy
+        # Brick shape is the tuned brick clamped to the exit extent.
+        exit_spec = graph.node(sub.subgraph.exit_ids[-1]).spec
+        assert sub.brick_shape == tuple(
+            min(choice.brick, e) for e in exit_spec.spatial)
+        assert "tuned" in sub.reason
+
+
+def test_tuned_plan_executes(tuned):
+    graph, plan, _ = tuned
+    engine = BrickDLEngine(graph)
+    result = engine.run(inputs=None, functional=False,
+                        device=Device(A100), plan=plan)
+    assert result.metrics.total_time > 0
+
+
+def test_tune_plan_respects_strategy_restriction():
+    graph = small_chain_graph(name="tuner_restricted")
+    _, report = tune_plan(graph, bricks=(32,), strategies=(Strategy.PADDED,))
+    for choice in report.choices:
+        # Only the model's own pick or PADDED can win under the restriction.
+        assert choice.strategy in (Strategy.PADDED, choice.model_strategy)
