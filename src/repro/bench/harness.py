@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import math
 import os
+import time
 from dataclasses import replace
 
 from repro.bench.reporting import BreakdownRow
@@ -78,6 +79,7 @@ def run_brickdl(
     trace: "str | os.PathLike | None" = None,
     verify: bool = False,
     manifest: "str | os.PathLike | None" = None,
+    sim_path: str | None = None,
 ) -> tuple[BreakdownRow, ExecutionPlan]:
     """Profile one BrickDL configuration; returns (row, plan).
 
@@ -100,8 +102,10 @@ def run_brickdl(
         strict=verify,
     )
     plan = engine.compile()
-    device = Device(adapt_sectors(spec, plan))
+    device = Device(adapt_sectors(spec, plan), sim_path=sim_path)
+    t0 = time.perf_counter()
     result = engine.run(inputs=None, functional=False, device=device, plan=plan)
+    sim_wall_s = time.perf_counter() - t0
     if trace is not None and result.trace is not None:
         from repro.bench.export import write_trace
 
@@ -113,6 +117,7 @@ def run_brickdl(
 
         manifest_from_result(
             graph.name, result, device.spec, label=name, scale=scale_preset(),
+            wall={"sim_wall_s": round(sim_wall_s, 4), "sim_path": device.sim_path},
         ).save(manifest)
     return BreakdownRow.from_metrics(name, result.metrics), plan
 
@@ -125,6 +130,7 @@ def record_bench_manifest(
     strategy: Strategy | None = None,
     brick: int | None = None,
     label: str | None = None,
+    sim_path: str | None = None,
     **build_kwargs,
 ):
     """Record one zoo model's run as a ``BENCH_<model>[__<label>].json`` manifest.
@@ -141,13 +147,16 @@ def record_bench_manifest(
     engine = BrickDLEngine(graph, spec=spec, config=config,
                            strategy_override=strategy, brick_override=brick)
     plan = engine.compile()
-    device = Device(adapt_sectors(spec, plan))
+    device = Device(adapt_sectors(spec, plan), sim_path=sim_path)
+    t0 = time.perf_counter()
     result = engine.run(inputs=None, functional=False, device=device, plan=plan)
+    sim_wall_s = time.perf_counter() - t0
     if label is None:
         label = strategy.value if strategy else ""
     manifest = manifest_from_result(
         model, result, device.spec, label=label, scale=scale_preset(),
         build_args=build_kwargs,
+        wall={"sim_wall_s": round(sim_wall_s, 4), "sim_path": device.sim_path},
     )
     path = manifest.save(bench_manifest_path(model, out_dir, label=label))
     return manifest, path

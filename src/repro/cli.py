@@ -263,8 +263,12 @@ def cmd_metrics(args) -> int:
             build_kwargs["image_size"] = args.image_size
         manifest, path = record_bench_manifest(
             args.model, out_dir=args.out, strategy=strategy, brick=args.brick,
-            label=args.label, **build_kwargs)
+            label=args.label, sim_path=args.sim_path, **build_kwargs)
         print(manifest.summary())
+        wall = manifest.wall
+        if wall:
+            print(f"  sim: {wall.get('sim_wall_s', 0.0):.3f} s wall "
+                  f"({wall.get('sim_path', '?')} path)")
         print(f"wrote {path}")
         return 0
 
@@ -305,6 +309,16 @@ def cmd_metrics(args) -> int:
     report = diff_manifests(RunManifest.load(args.base), RunManifest.load(args.new),
                             tolerances=tolerances or None)
     print(report.render(verbose=args.verbose))
+    if getattr(args, "require_identical", False):
+        # Equivalence mode (scalar vs vectorized sim path): every metric must
+        # be bit-equal; tolerances do not apply.
+        moved = [d for d in report.deltas if d.new != d.base]
+        missing = [w for w in report.warnings if "only in" in w]
+        for d in moved:
+            print(f"not identical: {d.name}: {d.base:g} != {d.new:g}", file=sys.stderr)
+        for w in missing:
+            print(f"not identical: {w}", file=sys.stderr)
+        return 1 if moved or missing else 0
     return 1 if report.regressions else 0
 
 
@@ -450,6 +464,8 @@ def build_parser() -> argparse.ArgumentParser:
     rec.add_argument("--reduced", action="store_true", help="use the test-scale config")
     rec.add_argument("--out", default=".", metavar="DIR",
                      help="directory for the manifest (default: cwd)")
+    rec.add_argument("--sim-path", choices=["scalar", "vectorized"], default=None,
+                     help="memory-accounting path (default: REPRO_SIM_PATH or vectorized)")
     rec.add_argument("--label", default=None,
                      help="manifest label / filename suffix (default: the strategy)")
     rec.set_defaults(fn=cmd_metrics)
@@ -467,6 +483,9 @@ def build_parser() -> argparse.ArgumentParser:
                           "(repeatable)")
     dif.add_argument("--verbose", action="store_true",
                      help="list every compared metric, not just movements")
+    dif.add_argument("--require-identical", action="store_true",
+                     help="exit 1 unless every metric is bit-equal "
+                          "(the scalar/vectorized sim-path equivalence gate)")
     dif.set_defaults(fn=cmd_metrics)
 
     for name, fn, help_ in (

@@ -49,14 +49,20 @@ class BrickGrid:
             raise LayoutError(f"rank mismatch: extents {self.extents} vs brick {self.brick_shape}")
         if any(b < 1 for b in self.brick_shape) or any(e < 1 for e in self.extents):
             raise LayoutError(f"invalid grid geometry: {self}")
+        # Derived geometry is read on every brick lookup in the executor hot
+        # path; compute it once (the dataclass is frozen, hence the setattr).
+        grid = tuple(-(-e // b) for e, b in zip(self.extents, self.brick_shape))
+        object.__setattr__(self, "_grid_shape", grid)
+        object.__setattr__(self, "_num_bricks", math.prod(grid))
+        object.__setattr__(self, "_overlap_plans", {})
 
     @property
     def grid_shape(self) -> tuple[int, ...]:
-        return tuple(-(-e // b) for e, b in zip(self.extents, self.brick_shape))
+        return self._grid_shape
 
     @property
     def num_bricks(self) -> int:
-        return math.prod(self.grid_shape)
+        return self._num_bricks
 
     @property
     def ndim(self) -> int:
@@ -64,23 +70,42 @@ class BrickGrid:
 
     def brick_region(self, grid_pos: Sequence[int], clipped: bool = False) -> Region:
         """Absolute region covered by the brick at ``grid_pos``."""
-        los = [p * b for p, b in zip(grid_pos, self.brick_shape)]
-        his = [lo + b for lo, b in zip(los, self.brick_shape)]
-        region = Region.from_bounds(los, his)
-        return region.clip(self.extents) if clipped else region
+        if clipped:
+            # Brick origins are never negative, so clipping only trims the
+            # high side (overhanging boundary bricks).
+            return Region(
+                Interval(p * b, min(p * b + b, e))
+                for p, b, e in zip(grid_pos, self.brick_shape, self.extents)
+            )
+        return Region(
+            Interval(p * b, p * b + b) for p, b in zip(grid_pos, self.brick_shape)
+        )
 
     def bricks_overlapping(self, region: Region) -> Iterator[tuple[int, ...]]:
         """Grid positions of all bricks intersecting ``region`` (clipped to
         the feature map: out-of-map halo has no brick to read)."""
-        clipped = region.clip(self.extents)
-        if clipped.is_empty():
-            return
-        ranges = []
-        for iv, b, g in zip(clipped, self.brick_shape, self.grid_shape):
-            lo = max(0, iv.lo // b)
-            hi = min(g, -(-iv.hi // b))
-            ranges.append(range(lo, hi))
-        yield from itertools.product(*ranges)
+        yield from self.overlap_plan(region)
+
+    def overlap_plan(self, region: Region) -> tuple[tuple[int, ...], ...]:
+        """Materialized (and memoized) :meth:`bricks_overlapping` result.
+
+        Executors resolve the same halo regions once per brick per batch
+        sample; the distinct regions per grid are few, so caching the
+        materialized tuples removes the region algebra from the hot path.
+        """
+        plan = self._overlap_plans.get(region)
+        if plan is None:
+            clipped = region.clip(self.extents)
+            if clipped.is_empty():
+                plan = ()
+            else:
+                ranges = [
+                    range(max(0, iv.lo // b), min(g, -(-iv.hi // b)))
+                    for iv, b, g in zip(clipped, self.brick_shape, self._grid_shape)
+                ]
+                plan = tuple(itertools.product(*ranges))
+            self._overlap_plans[region] = plan
+        return plan
 
     def grid_region_for(self, region: Region) -> Region:
         """The brick-grid-coordinate box covering ``region`` (clipped)."""

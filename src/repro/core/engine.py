@@ -42,6 +42,7 @@ from repro.core.plan import ExecutionPlan, Strategy, SubgraphPlan
 from repro.core.reference import ReferenceExecutor
 from repro.errors import ExecutionError, PlanError
 from repro.graph.ir import Graph, Node
+from repro.graph.regions import Region
 from repro.graph.ops import Conv, ConvTranspose, Pool
 from repro.graph.traversal import SubgraphView
 from repro.gpusim.device import Device, RunMetrics
@@ -482,9 +483,10 @@ class BrickDLEngine:
         task = Task(label=f"to-bricks/{node.name}", node_id=nid)
         task.read(handle.buffer, 0, handle.buffer.nbytes, dense=True)
         task.acquire(buffer_token(handle.buffer))
+        phys = new._region_physical(Region.from_extents(new.grid.extents))
+        per_brick = new.brick_nbytes
         for n in range(node.spec.batch):
-            for gpos in new.bricks():
-                new.emit_brick_write(task, n, gpos)
+            task.write_batch(buf, (n * new.grid.num_bricks + phys) * per_brick, per_brick)
         # No barrier separates this conversion from the consuming brick
         # tasks: the whole-buffer token is the launch-ordering edge the
         # executors acquire.
@@ -506,9 +508,10 @@ class BrickDLEngine:
         is_output = nid in {n.node_id for n in self.graph.output_nodes}
         buf = device.allocate(f"{node.name}/dense", node.spec.nbytes, transient=not is_output)
         task = Task(label=f"from-bricks/{node.name}", node_id=nid)
+        phys = handle._region_physical(Region.from_extents(handle.grid.extents))
+        per_brick = handle.brick_nbytes
         for n in range(node.spec.batch):
-            for gpos in handle.bricks():
-                handle.emit_brick_read(task, n, gpos)
+            task.read_batch(handle.buffer, (n * handle.grid.num_bricks + phys) * per_brick, per_brick)
         task.acquire(buffer_token(handle.buffer))
         task.write(buf, 0, node.spec.nbytes, dense=True)
         task.release(buffer_token(buf))

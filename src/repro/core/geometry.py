@@ -1,0 +1,94 @@
+"""Memoized per-subgraph brick geometry: the executor hot-path cache.
+
+Profiling the per-task hot path shows the simulator's wall clock is not
+dominated by the memory model but by *geometry recomputation*: every brick
+task re-derives its receptive-field maps, need regions, per-input offsets
+and flop counts, and the same ``(node, grid position)`` pair is resolved
+several times per brick (dependency scan, sync stamping, task emission).
+
+:class:`SubgraphGeometry` memoizes those pure derivations per subgraph.  All
+results are value-identical to the uncached computation by construction --
+the inputs (graph topology, operator receptive fields, brick grids) are
+immutable for the lifetime of one executor -- so the emitted access streams
+are bit-identical whether or not the cache is hit, independent of the
+``REPRO_SIM_PATH`` accounting switch.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.halo import required_regions
+from repro.graph.regions import Region
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.graph.traversal import SubgraphView
+
+__all__ = ["SubgraphGeometry"]
+
+
+class SubgraphGeometry:
+    """Pure-geometry memo tables for one subgraph execution."""
+
+    def __init__(self, subgraph: "SubgraphView") -> None:
+        self.subgraph = subgraph
+        self.graph = subgraph.graph
+        self._input_specs: dict[int, list] = {}
+        self._rf: dict[tuple[int, int], tuple] = {}
+        self._needs: dict[tuple[int, Region], tuple] = {}
+        self._flops: dict[tuple[int, int], float] = {}
+        self._required: dict[tuple[int, Region], dict[int, Region]] = {}
+
+    def input_specs(self, nid: int) -> list:
+        specs = self._input_specs.get(nid)
+        if specs is None:
+            graph = self.graph
+            specs = [graph.node(i).spec for i in graph.node(nid).inputs]
+            self._input_specs[nid] = specs
+        return specs
+
+    def rf_maps(self, nid: int, input_index: int):
+        key = (nid, input_index)
+        maps = self._rf.get(key)
+        if maps is None:
+            maps = self.graph.node(nid).op.rf_maps(self.input_specs(nid), input_index)
+            self._rf[key] = maps
+        return maps
+
+    def needs(self, nid: int, region: Region) -> tuple[tuple[Region, ...],
+                                                       tuple[tuple[int, ...], ...]]:
+        """Per-input need regions and local patch offsets for one output
+        region of ``nid`` (the per-brick receptive-field resolution)."""
+        key = (nid, region)
+        cached = self._needs.get(key)
+        if cached is None:
+            node = self.graph.node(nid)
+            needs = []
+            offsets = []
+            for input_index in range(len(node.inputs)):
+                maps = self.rf_maps(nid, input_index)
+                need = Region(m.in_interval(iv) for m, iv in zip(maps, region))
+                needs.append(need)
+                offsets.append(tuple(
+                    m.local_out_offset(iv.lo, niv.lo)
+                    for m, iv, niv in zip(maps, region, need)))
+            cached = (tuple(needs), tuple(offsets))
+            self._needs[key] = cached
+        return cached
+
+    def flops(self, nid: int, out_elems: int) -> float:
+        key = (nid, out_elems)
+        value = self._flops.get(key)
+        if value is None:
+            value = self.graph.node(nid).op.flops(self.input_specs(nid), out_elems)
+            self._flops[key] = value
+        return value
+
+    def required(self, exit_id: int, out_region: Region) -> dict[int, Region]:
+        """Memoized :func:`repro.core.halo.required_regions`."""
+        key = (exit_id, out_region)
+        req = self._required.get(key)
+        if req is None:
+            req = required_regions(self.subgraph, exit_id, out_region)
+            self._required[key] = req
+        return req

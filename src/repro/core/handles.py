@@ -17,7 +17,7 @@ overlapping brick in full (the brick is the unit of data movement).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterator
 
 import numpy as np
@@ -112,6 +112,11 @@ class BrickedHandle:
     grid: BrickGrid
     buffer: Buffer
     data: BrickedTensor | None = None
+    # Per-region physical-brick-index vectors (see _region_physical): the
+    # executors resolve the same few halo regions for every batch sample and
+    # every consumer, so the translation from region to brick offsets is
+    # cached once per region.
+    _region_phys: dict = field(default_factory=dict, repr=False, compare=False)
 
     @classmethod
     def create(
@@ -132,7 +137,11 @@ class BrickedHandle:
 
     @property
     def brick_nbytes(self) -> int:
-        return self.spec.channels * math.prod(self.grid.brick_shape) * self.spec.itemsize
+        cached = self._region_phys.get("__brick_nbytes__")
+        if cached is None:
+            cached = self.spec.channels * math.prod(self.grid.brick_shape) * self.spec.itemsize
+            self._region_phys["__brick_nbytes__"] = cached
+        return cached
 
     def nbytes(self) -> int:
         return self.spec.batch * self.grid.num_bricks * self.brick_nbytes
@@ -149,18 +158,33 @@ class BrickedHandle:
     def brick_offset(self, batch: int, grid_pos: tuple[int, ...]) -> int:
         return (batch * self.grid.num_bricks + self.physical(grid_pos)) * self.brick_nbytes
 
+    def _region_physical(self, region: Region) -> np.ndarray:
+        """Physical brick indices (int64 vector) of the bricks overlapping
+        ``region``, memoized per region."""
+        phys = self._region_phys.get(region)
+        if phys is None:
+            plan = self.grid.overlap_plan(region)
+            phys = np.fromiter((self.physical(g) for g in plan),
+                               dtype=np.int64, count=len(plan))
+            self._region_phys[region] = phys
+        return phys
+
     # -- access emission ------------------------------------------------------
     def emit_region_read(self, task: Task, batch: int, region: Region) -> int:
         """Record reads of every brick overlapping ``region``; returns count.
 
         Each brick is one contiguous read -- the single-address-stream
-        property of the layout.
+        property of the layout.  Emitted as one batch: the per-brick
+        ``Access`` rows are unchanged, and the task additionally carries the
+        columnar span for the vectorized memory path.
         """
-        count = 0
-        for grid_pos in self.grid.bricks_overlapping(region):
-            task.read(self.buffer, self.brick_offset(batch, grid_pos), self.brick_nbytes)
-            count += 1
-        return count
+        phys = self._region_physical(region)
+        if phys.size == 0:
+            return 0
+        nbytes = self.brick_nbytes
+        offsets = (batch * self.grid.num_bricks + phys) * nbytes
+        task.read_batch(self.buffer, offsets, nbytes)
+        return int(phys.size)
 
     def emit_brick_read(self, task: Task, batch: int, grid_pos: tuple[int, ...]) -> None:
         task.read(self.buffer, self.brick_offset(batch, grid_pos), self.brick_nbytes)

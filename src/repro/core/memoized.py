@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.geometry import SubgraphGeometry
 from repro.core.handles import BrickedHandle
 from repro.errors import ExecutionError
 from repro.graph.regions import Region
@@ -78,6 +79,7 @@ class MemoizedBrickExecutor:
         self.functional = functional
         self.graph = subgraph.graph
         self.members = set(subgraph.node_ids)
+        self.geom = SubgraphGeometry(subgraph)
         for eid in subgraph.entry_ids:
             if eid not in entries:
                 raise ExecutionError(f"memoized executor missing entry handle for node {eid}")
@@ -92,6 +94,16 @@ class MemoizedBrickExecutor:
             buf = self.device.allocate(f"{node.name}/memo", nbytes, transient=True)
             self.memo[nid] = BrickedHandle.create(node.spec, self.brick_shape, buf, self.functional)
             self.states[nid] = bytearray(node.spec.batch * grid_bricks)
+        # Per-brick geometry memo tables (see repro.core.geometry): the
+        # scheduler resolves each (node, grid position) several times -- the
+        # dependency scan, the sync stamping, and the task emission -- and
+        # every batch sample repeats the same geometry, so these tables turn
+        # the per-brick region algebra into dict hits.
+        self._tmpl: dict[tuple[int, tuple[int, ...]], tuple] = {}
+        self._dep_cache: dict[tuple[int, tuple[int, ...]],
+                              list[tuple[int, tuple[int, ...]]]] = {}
+        self._flat_geom = {nid: (h.grid.grid_shape, h.grid.num_bricks)
+                           for nid, h in self.memo.items()}
 
         # Scheduler time quantum: set adaptively from the first task so a
         # brick computation spans a handful of rounds regardless of scale
@@ -262,37 +274,46 @@ class MemoizedBrickExecutor:
         self.total_compulsory += 2  # acquire now, release at completion
         w.stack.append(_Frame(nid=nid, gpos=gpos, batch=batch))
 
+    def _brick_geom(self, nid: int, gpos: tuple[int, ...]) -> tuple:
+        """(region, needs, offsets, flops) for one brick, memoized.
+
+        Pure geometry -- identical for every batch sample and every
+        resolution of the same (node, grid position) pair."""
+        key = (nid, gpos)
+        tmpl = self._tmpl.get(key)
+        if tmpl is None:
+            node = self.graph.node(nid)
+            region = self.memo[nid].grid.brick_region(gpos, clipped=True)
+            needs, offsets = self.geom.needs(nid, region)
+            flops = self.geom.flops(nid, node.spec.channels * region.size)
+            tmpl = (region, needs, offsets, flops)
+            self._tmpl[key] = tmpl
+        return tmpl
+
     def _start_compute(self, w: "_WorkerState", frame: _Frame) -> None:
         node = self.graph.node(frame.nid)
         handle = self.memo[frame.nid]
-        region = handle.grid.brick_region(frame.gpos, clipped=True)
-        input_specs = [self.graph.node(i).spec for i in node.inputs]
+        # One need region and offset tuple per input: inputs may have
+        # differing halos, so each patch is aligned by its own
+        # receptive-field offsets.
+        region, needs, offsets, flops = self._brick_geom(frame.nid, frame.gpos)
 
         task = Task(label=f"memo/{node.name}/{frame.gpos}", node_id=frame.nid,
                     strategy="memoized", worker=w.index,
                     brick=frame.gpos, batch_index=frame.batch)
-        needs: list[Region] = []
-        # One offset tuple per input: inputs may have differing halos, so each
-        # patch is aligned by its own receptive-field offsets.
-        offsets: list[tuple[int, ...]] = []
         for input_index, pred in enumerate(node.inputs):
-            maps = node.op.rf_maps(input_specs, input_index)
-            need = Region(m.in_interval(iv) for m, iv in zip(maps, region))
-            needs.append(need)
-            offsets.append(tuple(
-                m.local_out_offset(iv.lo, niv.lo) for m, iv, niv in zip(maps, region, need)
-            ))
             source = self.memo.get(pred) or self.entries.get(pred)
             if source is None:
                 raise ExecutionError(f"no source handle for predecessor {pred}")
-            self._read_bricks(task, source, frame.batch, need)
+            self._read_bricks(task, source, frame.batch, needs[input_index])
         wb = self.weight_buffers.get(frame.nid)
         if wb is not None and wb.nbytes:
             task.read(wb, 0, wb.nbytes)
+        own_offset = handle.brick_offset(frame.batch, frame.gpos)
         handle.emit_brick_write(task, frame.batch, frame.gpos)
-        self._touch((handle.buffer.buffer_id, handle.brick_offset(frame.batch, frame.gpos)))
-        self._stamp_sync(task, frame)
-        task.flops = node.op.flops(input_specs, node.spec.channels * region.size)
+        self._touch((handle.buffer.buffer_id, own_offset))
+        self._stamp_sync(task, frame, own_offset)
+        task.flops = flops
         task.atomics_compulsory = 2
         task.visits = 0  # visits are tracked globally by the scheduler
 
@@ -315,7 +336,7 @@ class MemoizedBrickExecutor:
         w.busy = max(1, round(duration / self._quantum))
         w.computing = (frame.nid, frame.gpos, frame.batch)
 
-    def _stamp_sync(self, task: Task, frame: _Frame) -> None:
+    def _stamp_sync(self, task: Task, frame: _Frame, own_offset: int) -> None:
         """Stamp the protocol's happens-before edges on a brick task.
 
         Acquires: the tag-checked member dependency bricks (the consumer
@@ -335,7 +356,7 @@ class MemoizedBrickExecutor:
                 source = self.entries.get(pred)
                 if source is not None:
                     task.acquire(buffer_token(source.buffer))
-        task.release(brick_token(handle.buffer, handle.brick_offset(frame.batch, frame.gpos)))
+        task.release(brick_token(handle.buffer, own_offset))
         task.release(buffer_token(handle.buffer))
 
     def _touch(self, key: tuple[int, int]) -> bool:
@@ -357,37 +378,49 @@ class MemoizedBrickExecutor:
         if not isinstance(source, BrickedHandle):
             source.emit_region_read(task, batch, need)
             return
-        for gpos in source.grid.bricks_overlapping(need):
-            offset = source.brick_offset(batch, gpos)
-            hot = self._touch((source.buffer.buffer_id, offset))
+        # Brick offsets come from the handle's cached per-region physical
+        # vector; the per-brick read rows stay individual (the hot flag is
+        # scheduler state, so rows within one region genuinely differ).
+        phys = source._region_physical(need)
+        if phys.size == 0:
+            return
+        nbytes = source.brick_nbytes
+        buffer = source.buffer
+        bid = buffer.buffer_id
+        for offset in ((batch * source.grid.num_bricks + phys) * nbytes).tolist():
+            hot = self._touch((bid, offset))
             if hot:
                 self.coalesced_reads += 1
-            task.read(source.buffer, offset, source.brick_nbytes, assume_l2=hot)
+            task.read(buffer, offset, nbytes, assume_l2=hot)
 
     # -- dependencies -----------------------------------------------------------
     def _dependencies(self, nid: int, gpos: tuple[int, ...], batch: int) -> list[tuple[int, tuple[int, ...]]]:
-        """Member bricks this brick reads (entries are always available)."""
-        node = self.graph.node(nid)
-        handle = self.memo[nid]
-        region = handle.grid.brick_region(gpos, clipped=True)
-        input_specs = [self.graph.node(i).spec for i in node.inputs]
-        deps: list[tuple[int, tuple[int, ...]]] = []
-        for input_index, pred in enumerate(node.inputs):
-            if pred not in self.members:
-                continue
-            maps = node.op.rf_maps(input_specs, input_index)
-            need = Region(m.in_interval(iv) for m, iv in zip(maps, region))
-            for dep_pos in self.memo[pred].grid.bricks_overlapping(need):
-                deps.append((pred, dep_pos))
+        """Member bricks this brick reads (entries are always available).
+
+        Batch-independent, so the result is memoized per (node, grid
+        position) and shared between the dependency scan and the sync
+        stamping.  Callers must not mutate the returned list."""
+        key = (nid, gpos)
+        deps = self._dep_cache.get(key)
+        if deps is None:
+            node = self.graph.node(nid)
+            _, needs, _, _ = self._brick_geom(nid, gpos)
+            deps = []
+            for input_index, pred in enumerate(node.inputs):
+                if pred not in self.members:
+                    continue
+                for dep_pos in self.memo[pred].grid.overlap_plan(needs[input_index]):
+                    deps.append((pred, dep_pos))
+            self._dep_cache[key] = deps
         return deps
 
     # -- state ---------------------------------------------------------------
     def _flat(self, nid: int, gpos: tuple[int, ...], batch: int) -> int:
-        grid = self.memo[nid].grid.grid_shape
+        grid, num_bricks = self._flat_geom[nid]
         idx = 0
         for p, g in zip(gpos, grid):
             idx = idx * g + p
-        return batch * self.memo[nid].grid.num_bricks + idx
+        return batch * num_bricks + idx
 
     def _get_state(self, nid: int, gpos: tuple[int, ...], batch: int) -> int:
         return self.states[nid][self._flat(nid, gpos, batch)]

@@ -25,7 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.halo import required_regions
+from repro.core.geometry import SubgraphGeometry
 from repro.core.handles import BrickedHandle
 from repro.errors import ExecutionError
 from repro.graph.regions import Region
@@ -63,6 +63,14 @@ class PaddedBrickExecutor:
     entries: dict[int, BrickedHandle]
     weight_buffers: dict[int, Buffer]
     functional: bool = True
+
+    def __post_init__(self) -> None:
+        # Memoized geometry (see repro.core.geometry): the reverse halo
+        # traversal and the per-layer receptive-field resolution depend only
+        # on (exit, brick), not on the batch sample, so every sample after
+        # the first replays dict hits.
+        self.geom = SubgraphGeometry(self.subgraph)
+        self._members = set(self.subgraph.node_ids)
 
     def run(self) -> dict[int, BrickedHandle]:
         graph = self.subgraph.graph
@@ -115,7 +123,7 @@ class PaddedBrickExecutor:
 
         grid = BrickGrid(exit_spec.spatial, self.brick_shape)
         center = tuple(g // 2 for g in grid.grid_shape)
-        required = required_regions(self.subgraph, exit_id, grid.brick_region(center))
+        required = self.geom.required(exit_id, grid.brick_region(center))
         offsets: dict[int, int] = {}
         cursor = 0
         for nid in self.subgraph.node_ids:
@@ -139,9 +147,9 @@ class PaddedBrickExecutor:
         worker: int | None = None,
     ) -> None:
         graph = self.subgraph.graph
-        members = set(self.subgraph.node_ids)
+        members = self._members
         out_region = exit_handle.grid.brick_region(grid_pos, clipped=True)
-        required = required_regions(self.subgraph, exit_id, out_region)
+        required = self.geom.required(exit_id, out_region)
 
         task = Task(label=f"padded/{graph.node(exit_id).name}/{grid_pos}",
                     node_id=exit_id, strategy="padded", worker=worker,
@@ -172,21 +180,14 @@ class PaddedBrickExecutor:
             if region.is_empty():
                 covered[nid] = region
                 continue
-            input_specs = [graph.node(i).spec for i in node.inputs]
-            needs: list[Region] = []
-            offsets_nd: list[tuple[int, ...]] = []
+            needs, offsets_nd = self.geom.needs(nid, region)
             for input_index, pred in enumerate(node.inputs):
-                maps = node.op.rf_maps(input_specs, input_index)
-                need = Region(m.in_interval(iv) for m, iv in zip(maps, region))
-                needs.append(need)
-                offsets_nd.append(tuple(
-                    m.local_out_offset(iv.lo, niv.lo) for m, iv, niv in zip(maps, region, need)
-                ))
                 # Intermediate patches are thread-block private (registers /
                 # shared memory / L1): they never travel below the SM, but
                 # their volume shows up in the L1 (global) transaction count
                 # -- the paper's padded-brick overfetch.
                 if pred in members:
+                    need = needs[input_index]
                     pred_spec = graph.node(pred).spec
                     nbytes = pred_spec.channels * need.clip(pred_spec.spatial).size * pred_spec.itemsize
                     task.read(scratch_buf, slots[pred], min(nbytes, scratch_buf.nbytes - slots[pred]),
@@ -202,7 +203,7 @@ class PaddedBrickExecutor:
             else:
                 task.write(scratch_buf, slots[nid], min(out_bytes, scratch_buf.nbytes - slots[nid]),
                            on_chip=True)
-            task.flops += node.op.flops(input_specs, spec.channels * region.size)
+            task.flops += self.geom.flops(nid, spec.channels * region.size)
             self._compute_elems += spec.channels * region.size
             calls += 1
 

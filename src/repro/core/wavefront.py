@@ -33,9 +33,10 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from repro.core.geometry import SubgraphGeometry
 from repro.core.handles import BrickedHandle, DenseHandle
 from repro.errors import ExecutionError
-from repro.graph.regions import Interval, Region
+from repro.graph.regions import Interval
 from repro.graph.traversal import SubgraphView
 from repro.gpusim.device import Device
 from repro.gpusim.trace import Buffer, Task, brick_token, buffer_token
@@ -111,6 +112,25 @@ class WavefrontBrickExecutor:
             self.memo[nid] = BrickedHandle.create(node.spec, self.brick_shape, buf, self.functional)
         self.skew = skew_factor(self.subgraph, self.brick_shape)
         self.num_waves = 0
+        # Per-brick geometry memo (see repro.core.geometry): the wave
+        # placement pass and the per-sample compute pass resolve the same
+        # (node, grid position) regions, so the receptive-field algebra runs
+        # once per brick rather than once per resolution.
+        self.geom = SubgraphGeometry(self.subgraph)
+        self._tmpl: dict[tuple[int, tuple[int, ...]], tuple] = {}
+
+    def _brick_geom(self, nid: int, gpos: tuple[int, ...]) -> tuple:
+        """(region, needs, offsets, flops) for one brick, memoized."""
+        key = (nid, gpos)
+        tmpl = self._tmpl.get(key)
+        if tmpl is None:
+            node = self.subgraph.graph.node(nid)
+            region = self.memo[nid].grid.brick_region(gpos, clipped=True)
+            needs, offsets = self.geom.needs(nid, region)
+            flops = self.geom.flops(nid, node.spec.channels * region.size)
+            tmpl = (region, needs, offsets, flops)
+            self._tmpl[key] = tmpl
+        return tmpl
 
     def run(self) -> dict[int, BrickedHandle]:
         graph = self.subgraph.graph
@@ -130,19 +150,16 @@ class WavefrontBrickExecutor:
         for nid in self.subgraph.node_ids:
             handle = self.memo[nid]
             node = graph.node(nid)
-            input_specs = [graph.node(i).spec for i in node.inputs]
             member_pred = next((i for i in node.inputs if i in self.memo), None)
+            idx = node.inputs.index(member_pred) if member_pred is not None else -1
             for gpos in handle.bricks():
                 if member_pred is None:
                     w = gpos[0]
                 else:
-                    region = handle.grid.brick_region(gpos, clipped=True)
-                    idx = node.inputs.index(member_pred)
-                    maps = node.op.rf_maps(input_specs, idx)
-                    need = Region(m.in_interval(iv) for m, iv in zip(maps, region))
+                    _, needs, _, _ = self._brick_geom(nid, gpos)
                     source = self.memo[member_pred]
                     dep_waves = [wave_of[(member_pred, dp)]
-                                 for dp in source.grid.bricks_overlapping(need)]
+                                 for dp in source.grid.overlap_plan(needs[idx])]
                     w = max(dep_waves) + 1 if dep_waves else 0
                 wave_of[(nid, gpos)] = w
                 waves.setdefault(w, []).append((nid, gpos))
@@ -165,23 +182,16 @@ class WavefrontBrickExecutor:
         graph = self.subgraph.graph
         node = graph.node(nid)
         handle = self.memo[nid]
-        region = handle.grid.brick_region(gpos, clipped=True)
+        # Per-input needs/offsets: inputs may carry differing halos (skip
+        # adds); the geometry is shared with the wave-placement pass.
+        region, needs, offsets, flops = self._brick_geom(nid, gpos)
         if region.is_empty():
             return
-        input_specs = [graph.node(i).spec for i in node.inputs]
 
         task = Task(label=f"wave/{node.name}/{gpos}", node_id=nid, strategy="wavefront",
                     brick=gpos, batch_index=batch)
-        needs: list[Region] = []
-        # Per-input offsets: inputs may carry differing halos (skip adds).
-        offsets: list[tuple[int, ...]] = []
         for input_index, pred in enumerate(node.inputs):
-            maps = node.op.rf_maps(input_specs, input_index)
-            need = Region(m.in_interval(iv) for m, iv in zip(maps, region))
-            needs.append(need)
-            offsets.append(tuple(
-                m.local_out_offset(iv.lo, niv.lo) for m, iv, niv in zip(maps, region, need)
-            ))
+            need = needs[input_index]
             source = self.memo.get(pred) or self.entries.get(pred)
             if source is None:
                 raise ExecutionError(f"no source handle for predecessor {pred}")
@@ -190,10 +200,15 @@ class WavefrontBrickExecutor:
                 # schedule keeps the producing front L2-hot.  Member deps
                 # deliberately carry NO acquire edges: the per-wave barrier
                 # is the protocol, so a broken skew factor surfaces as a
-                # happens-before race under the sanitizer.
-                for dep_pos in source.grid.bricks_overlapping(need):
-                    task.read(source.buffer, source.brick_offset(batch, dep_pos),
-                              source.brick_nbytes)
+                # happens-before race under the sanitizer.  All dep-brick
+                # reads are uniform, so they go out as one batch.
+                phys = source._region_physical(need)
+                if phys.size:
+                    nbytes = source.brick_nbytes
+                    task.read_batch(
+                        source.buffer,
+                        (batch * source.grid.num_bricks + phys) * nbytes,
+                        nbytes)
                 if pred not in self.memo:
                     task.acquire(buffer_token(source.buffer))
             else:
@@ -202,8 +217,9 @@ class WavefrontBrickExecutor:
         wb = self.weight_buffers.get(nid)
         if wb is not None and wb.nbytes:
             task.read(wb, 0, wb.nbytes)
+        own_offset = handle.brick_offset(batch, gpos)
         handle.emit_brick_write(task, batch, gpos)
-        task.flops = node.op.flops(input_specs, node.spec.channels * region.size)
+        task.flops = flops
 
         if self.functional:
             fill = pad_value_for(node.op)
@@ -213,7 +229,7 @@ class WavefrontBrickExecutor:
                 patches.append(source.gather(batch, need, fill))
             values = apply_node_local(node.op, patches, node.weights, region.shape, offsets)
             handle.scatter(batch, region, values)
-        task.release(brick_token(handle.buffer, handle.brick_offset(batch, gpos)))
+        task.release(brick_token(handle.buffer, own_offset))
         task.release(buffer_token(handle.buffer))
         self.device.submit(task)
         if self.functional:

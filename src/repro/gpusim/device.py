@@ -26,6 +26,7 @@ from typing import Iterable, Iterator
 
 from repro.gpusim.atomics import AtomicCounters
 from repro.gpusim.memory import MemoryCounters, MemorySystem
+from repro.gpusim.simpath import VECTORIZED, active_path
 from repro.gpusim.spec import A100, GPUSpec
 from repro.gpusim.timing import TimeBreakdown, compute_breakdown
 from repro.gpusim.trace import Buffer, Task
@@ -61,9 +62,14 @@ class Device:
     """A simulated GPU for the duration of one execution run."""
 
     def __init__(self, spec: GPUSpec = A100, observers: Iterable = (),
-                 registry: MetricsRegistry | None = None) -> None:
+                 registry: MetricsRegistry | None = None,
+                 sim_path: str | None = None) -> None:
         self.spec = spec
         self.memory = MemorySystem(spec)
+        # scalar (per-access oracle) vs vectorized (batched) accounting;
+        # resolved from REPRO_SIM_PATH unless explicitly overridden.
+        self.sim_path = active_path(sim_path)
+        self._vectorized = self.sim_path == VECTORIZED
         self.atomics = AtomicCounters()
         self.observers: list = list(observers)
         # Always-on metrics: every run leaves a labelled registry, whether or
@@ -160,8 +166,11 @@ class Device:
         before = (c.l1_txns, c.l2_txns, c.dram_read_txns, c.dram_write_txns,
                   self.atomics.compulsory, self.atomics.conflict)
         self.memory.begin_task()
-        for access in task.accesses:
-            self.memory.process(access)
+        if self._vectorized:
+            self.memory.process_batch(task.accesses, task.batch_spans)
+        else:
+            for access in task.accesses:
+                self.memory.process(access)
         self.atomics.compulsory += task.atomics_compulsory
         self.atomics.conflict += task.atomics_conflict
 
@@ -285,4 +294,7 @@ class Device:
         for level in ("l1", "l2"):
             for name, value in stats[level].items():
                 reg.gauge(f"cache_{name}", level=level).set(value)
-        reg.gauge("analytic_resident_bytes").set(stats["analytic_resident_bytes"])
+        for name, value in stats["analytic"].items():
+            # "resident_bytes" keeps its historical gauge name
+            # ("analytic_resident_bytes"); the ledger entries follow suit.
+            reg.gauge(f"analytic_{name}").set(value)

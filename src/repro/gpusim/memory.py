@@ -37,10 +37,11 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
+from typing import Iterable, Sequence
 
 from repro.gpusim.cache import SectorCache
 from repro.gpusim.spec import GPUSpec
-from repro.gpusim.trace import Access, Buffer
+from repro.gpusim.trace import Access, BatchSpan, Buffer
 
 __all__ = ["MemoryCounters", "MemorySystem", "AnalyticResidency"]
 
@@ -54,6 +55,15 @@ def _lines(offset: int, nbytes: int, line: int) -> int:
 
 def _txns(nbytes: int, line: int) -> int:
     return -(-int(nbytes) // line) if nbytes > 0 else 0
+
+
+# Transaction-charging convention, applied uniformly on read and write paths:
+# a *whole byte range* moving through a level is charged offset-aware
+# (``_lines``: alignment overfetch included), while *modeled byte quantities*
+# without a concrete range (partial-span cache misses, analytic-residency
+# misses and spills, dirty write-backs) are charged ``_txns`` (ceil-div).
+# The same byte range therefore costs the same transactions whether it is
+# being loaded or stored.
 
 
 @dataclass
@@ -94,52 +104,100 @@ class AnalyticResidency:
     def __init__(self, capacity: int) -> None:
         self.capacity = int(capacity)
         self._entries: OrderedDict[int, list[int]] = OrderedDict()  # id -> [resident, dirty]
+        # Running sum of resident bytes, so eviction pressure is a single
+        # comparison instead of an O(n) sum per loop iteration.
+        self._resident = 0
+        # Lifetime dirty-byte conservation ledger (mirrors SectorCache):
+        # every byte that acquires a write-back obligation here leaves
+        # through exactly one of spilled (LRU overflow), flushed (end-of-run
+        # write-back), or discarded (transient data dropped on-device).
+        self.written_dirty_bytes = 0
+        self.spilled_dirty_bytes = 0
+        self.flushed_dirty_bytes = 0
+        self.discarded_dirty_bytes = 0
 
     def total(self) -> int:
-        return sum(e[0] for e in self._entries.values())
+        return self._resident
 
-    def read(self, buffer: Buffer, touched: int) -> tuple[int, int]:
-        """Returns ``(hit_bytes, miss_bytes)``; misses become resident."""
+    def dirty_resident(self) -> int:
+        return sum(e[1] for e in self._entries.values())
+
+    def read(self, buffer: Buffer, touched: int) -> tuple[int, int, int]:
+        """Returns ``(hit_bytes, miss_bytes, spilled_dirty_bytes)``.
+
+        Misses become resident; insertions can evict other buffers, and the
+        dirty bytes those evictions spill must reach the DRAM write counter
+        (they are part of the conservation ledger, not silently droppable).
+        """
         if buffer.nbytes > self.capacity:
             # Streaming: no reuse, and do not pollute residency.
-            return 0, touched
+            return 0, touched, 0
         entry = self._entries.get(buffer.buffer_id)
         resident = entry[0] if entry else 0
         hit = min(touched, touched * resident // max(buffer.nbytes, 1))
         miss = touched - hit
-        self._insert(buffer, miss, dirty=0)
-        return hit, miss
+        spilled = self._insert(buffer, miss, dirty=0)
+        return hit, miss, spilled
 
     def write(self, buffer: Buffer, written: int) -> int:
         """Returns dirty bytes immediately spilled to DRAM (overflow)."""
         if buffer.nbytes > self.capacity:
             # Larger-than-cache outputs stream their overflow to DRAM; keep
             # nothing resident (strict-LRU re-reads would miss anyway).
+            self.written_dirty_bytes += written
+            self.spilled_dirty_bytes += written
             return written
         return self._insert(buffer, written, dirty=written)
 
     def _insert(self, buffer: Buffer, nbytes: int, dirty: int) -> int:
         entry = self._entries.setdefault(buffer.buffer_id, [0, 0])
-        entry[0] = min(buffer.nbytes, entry[0] + nbytes)
-        entry[1] = min(entry[0], entry[1] + dirty)
+        grown = min(buffer.nbytes, entry[0] + nbytes)
+        self._resident += grown - entry[0]
+        entry[0] = grown
+        if dirty:
+            clamped = min(grown, entry[1] + dirty)
+            self.written_dirty_bytes += clamped - entry[1]
+            entry[1] = clamped
         self._entries.move_to_end(buffer.buffer_id)
         spilled = 0
-        while self.total() > self.capacity and len(self._entries) > 1:
+        while self._resident > self.capacity and len(self._entries) > 1:
             _, (res, drt) = self._entries.popitem(last=False)
+            self._resident -= res
             spilled += drt
+        self.spilled_dirty_bytes += spilled
         return spilled
 
     def discard(self, buffer_id: int) -> None:
-        self._entries.pop(buffer_id, None)
+        entry = self._entries.pop(buffer_id, None)
+        if entry is not None:
+            self._resident -= entry[0]
+            self.discarded_dirty_bytes += entry[1]
 
     def flush(self, keep_transient: dict[int, Buffer]) -> int:
         dirty = 0
         for bid, entry in self._entries.items():
-            buf = keep_transient.get(bid)
-            if entry[1] and (buf is None or not buf.transient):
-                dirty += entry[1]
+            if entry[1]:
+                buf = keep_transient.get(bid)
+                if buf is None or not buf.transient:
+                    dirty += entry[1]
+                else:
+                    # Transient dirty data dies on-device: dropped, not
+                    # written back.
+                    self.discarded_dirty_bytes += entry[1]
             entry[1] = 0
+        self.flushed_dirty_bytes += dirty
         return dirty
+
+    def stats(self) -> dict[str, int]:
+        """Lifetime byte accounting, for the metrics registry."""
+        return {
+            "resident_bytes": self._resident,
+            "dirty_resident_bytes": self.dirty_resident(),
+            "written_dirty_bytes": self.written_dirty_bytes,
+            "spilled_dirty_bytes": self.spilled_dirty_bytes,
+            "flushed_dirty_bytes": self.flushed_dirty_bytes,
+            "discarded_dirty_bytes": self.discarded_dirty_bytes,
+        }
 
 
 class MemorySystem:
@@ -162,6 +220,17 @@ class MemorySystem:
         # pins one subgraph's weights at a time.
         self._pinned: set[int] = set()
         self._pinned_seen: set[int] = set()
+        # Signature memo for the vectorized path: pure (state-free) access
+        # classes -- on-chip, executor-certified L2 hits, already-resident
+        # pinned reads, streaming dense traffic -- have counter deltas that
+        # depend only on (class, offset alignment, nbytes, segments).  Bricks
+        # with identical shape/halo/layout and the same residency-state
+        # digest (the class code folds in pinned-seen membership and the
+        # streaming classification) therefore replay a precomputed delta.
+        # Keys never go stale: state-dependent classes bypass the memo, and
+        # the state that picks the class is re-read on every lookup.
+        self._sig_memo: dict[tuple[int, int, int, int],
+                             tuple[int, int, int, int]] = {}
 
     # -- allocation ---------------------------------------------------------
     def register(self, buffer: Buffer) -> Buffer:
@@ -186,60 +255,64 @@ class MemorySystem:
 
     def process(self, access: Access) -> None:
         c = self.counters
-        total = access.total_bytes
-        if access.reps:
-            c.l1_txns += _lines(access.offset, access.nbytes, self.line) * access.segments
-        else:
-            c.l1_txns += _lines(access.offset, access.nbytes, self.line)
+        lines = _lines(access.offset, access.nbytes, self.line) * access.segments
+        c.l1_txns += lines
         if access.on_chip:
             return  # thread-block private: never leaves the SM
         if access.assume_l2:
             # Executor-certified L2 hit (protocol-coalesced consumer read).
-            c.l2_txns += _txns(total, self.line)
+            c.l2_txns += lines
             return
         if access.buffer.buffer_id in self._pinned:
-            c.l2_txns += _txns(total, self.line)
+            c.l2_txns += lines
             if access.buffer.buffer_id not in self._pinned_seen:
                 self._pinned_seen.add(access.buffer.buffer_id)
                 c.dram_read_txns += _txns(access.buffer.nbytes, self.line)
             return
         if access.dense or access.reps:
-            self._dense(access, total)
+            self._dense(access, lines)
         elif access.write:
             self._blocked_write(access)
         else:
             self._blocked_read(access)
 
     # -- dense path ---------------------------------------------------------
-    def _dense(self, access: Access, total: int) -> None:
+    def _dense(self, access: Access, lines: int) -> None:
         c = self.counters
-        c.l2_txns += _txns(total, self.line)  # write-through / L1 too small
+        total = access.total_bytes
+        c.l2_txns += lines  # write-through / L1 too small
         if access.write:
             spilled = self.analytic.write(access.buffer, total)
             c.dram_write_txns += _txns(spilled, self.line)
         else:
-            _, miss = self.analytic.read(access.buffer, total)
+            _, miss, spilled = self.analytic.read(access.buffer, total)
             c.dram_read_txns += _txns(miss, self.line)
+            if spilled:
+                c.dram_write_txns += _txns(spilled, self.line)
 
     # -- blocked (brick) path ----------------------------------------------
     def _blocked_read(self, buffer_or_access: Access) -> None:
         a = buffer_or_access
         c = self.counters
         if a.nbytes >= self._stream_threshold:
-            self._stream(a.nbytes, write=False)
+            self._stream(a.offset, a.nbytes, write=False)
             return
         r1 = self.l1.access(a.buffer.buffer_id, a.offset, a.nbytes, write=False)
         if r1.miss_bytes:
-            c.l2_txns += _txns(r1.miss_bytes, self.line)
+            c.l2_txns += (_lines(a.offset, a.nbytes, self.line)
+                          if r1.miss_bytes == a.nbytes
+                          else _txns(r1.miss_bytes, self.line))
             r2 = self.l2.access(a.buffer.buffer_id, a.offset, a.nbytes, write=False)
             if r2.miss_bytes:
-                c.dram_read_txns += _txns(r2.miss_bytes, self.line)
+                c.dram_read_txns += (_lines(a.offset, a.nbytes, self.line)
+                                     if r2.miss_bytes == a.nbytes
+                                     else _txns(r2.miss_bytes, self.line))
             self._drain_evictions()
 
     def _blocked_write(self, a: Access) -> None:
         c = self.counters
         if a.nbytes >= self._stream_threshold:
-            self._stream(a.nbytes, write=True)
+            self._stream(a.offset, a.nbytes, write=True)
             return
         # Write-through L1: stores always generate L2 traffic.
         c.l2_txns += _lines(a.offset, a.nbytes, self.line)
@@ -247,10 +320,10 @@ class MemorySystem:
         self.l2.access(a.buffer.buffer_id, a.offset, a.nbytes, write=True)
         self._drain_evictions()
 
-    def _stream(self, nbytes: int, write: bool) -> None:
+    def _stream(self, offset: int, nbytes: int, write: bool) -> None:
         """Arithmetic accounting for accesses that sweep the entire L2."""
         c = self.counters
-        txns = _txns(nbytes, self.line)
+        txns = _lines(offset, nbytes, self.line)
         c.l2_txns += txns
         if write:
             c.dram_write_txns += txns
@@ -258,6 +331,109 @@ class MemorySystem:
             c.dram_read_txns += txns
         c.dram_write_txns += _txns(self.l2.flush(), self.line)
         self.l2.clear()
+
+    # -- vectorized path -----------------------------------------------------
+    def process_batch(self, accesses: Sequence[Access],
+                      batch_spans: Iterable[BatchSpan] = ()) -> None:
+        """Account a whole task's access stream at once.
+
+        Counter-identical to calling :meth:`process` on each access in
+        stream order -- rows are still consumed in order, but pure
+        (state-free) classes are charged through the signature memo, uniform
+        :class:`~repro.gpusim.trace.BatchSpan` runs are charged with numpy
+        array arithmetic, and only the blocked-LRU and fitting-dense classes
+        walk the exact cache models.
+        """
+        c = self.counters
+        memo = self._sig_memo
+        pinned = self._pinned
+        seen = self._pinned_seen
+        cap = self.analytic.capacity
+        line = self.line
+        process = self.process
+        l1 = l2 = dr = dw = 0
+        spans = ({s.start: s for s in batch_spans} if batch_spans else None)
+        i = 0
+        n = len(accesses)
+        while i < n:
+            if spans is not None:
+                span = spans.get(i)
+                if span is not None:
+                    delta = self._span_delta(span)
+                    if delta is not None:
+                        l1 += delta[0]
+                        l2 += delta[1]
+                        dr += delta[2]
+                        dw += delta[3]
+                        i += span.count
+                        continue
+            a = accesses[i]
+            i += 1
+            # Residency-state digest: which pure class (if any) this row is
+            # in *right now*.  -1 means state-dependent -> exact scalar walk.
+            if a.on_chip:
+                code = 0
+            elif a.assume_l2:
+                code = 1
+            elif a.buffer.buffer_id in pinned:
+                code = 1 if a.buffer.buffer_id in seen else -1
+            elif (a.dense or a.reps) and a.buffer.nbytes > cap:
+                code = 3 if a.write else 2
+            else:
+                code = -1
+            if code < 0:
+                process(a)
+                continue
+            key = (code, a.offset % line, a.nbytes, a.segments)
+            delta = memo.get(key)
+            if delta is None:
+                lines = _lines(a.offset, a.nbytes, line) * a.segments
+                txns = _txns(a.total_bytes, line)
+                delta = ((lines, 0, 0, 0) if code == 0
+                         else (lines, lines, 0, 0) if code == 1
+                         else (lines, lines, txns, 0) if code == 2
+                         else (lines, lines, 0, txns))
+                if len(memo) < (1 << 20):
+                    memo[key] = delta
+            l1 += delta[0]
+            l2 += delta[1]
+            dr += delta[2]
+            dw += delta[3]
+            if code == 3:
+                # Streaming dense write: the whole write spills (lifetime
+                # conservation ledger, same as the scalar path).
+                total = a.total_bytes
+                self.analytic.written_dirty_bytes += total
+                self.analytic.spilled_dirty_bytes += total
+        c.l1_txns += l1
+        c.l2_txns += l2
+        c.dram_read_txns += dr
+        c.dram_write_txns += dw
+
+    def _span_delta(self, span: BatchSpan) -> tuple[int, int, int, int] | None:
+        """Array-arithmetic delta for a uniform run, or ``None`` if the
+        run's class is state-dependent (blocked LRU, fitting dense, pinned
+        first touch) and must fall back to the exact per-row walk."""
+        line = self.line
+        offs = span.offsets
+        nb = span.nbytes
+        lines = int(((offs + (nb - 1)) // line - offs // line).sum()) + span.count
+        if span.on_chip:
+            return (lines, 0, 0, 0)
+        bid = span.buffer.buffer_id
+        if span.assume_l2 or (bid in self._pinned and bid in self._pinned_seen):
+            return (lines, lines, 0, 0)
+        if bid in self._pinned:
+            return None
+        if span.dense and span.buffer.nbytes > self.analytic.capacity:
+            txns = _txns(nb, line) * span.count
+            if span.write:
+                total = nb * span.count
+                self.analytic.written_dirty_bytes += total
+                self.analytic.spilled_dirty_bytes += total
+                return (lines, lines, 0, txns)
+            return (lines, lines, txns, 0)
+        return None
 
     def _drain_evictions(self) -> None:
         dirty = self.l2.drain_evicted_dirty()
@@ -273,6 +449,7 @@ class MemorySystem:
         return {
             "l1": self.l1.stats(),
             "l2": self.l2.stats(),
+            "analytic": self.analytic.stats(),
             "analytic_resident_bytes": self.analytic.total(),
             "pinned_buffers": len(self._pinned),
         }

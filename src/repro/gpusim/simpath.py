@@ -1,0 +1,38 @@
+"""The scalar/vectorized simulator-path switch.
+
+The memory system has two counter-identical implementations of per-task
+accounting: the original per-access scalar walk (:meth:`MemorySystem.process`,
+kept as the oracle) and the batched fast path
+(:meth:`MemorySystem.process_batch`, the default).  ``REPRO_SIM_PATH``
+selects between them:
+
+* ``REPRO_SIM_PATH=scalar``     -- per-access oracle walk,
+* ``REPRO_SIM_PATH=vectorized`` -- batched classification + signature memo
+  (the default when the variable is unset).
+
+The equivalence tests run the same workload under both values and assert
+bit-identical counters; CI does the same at manifest granularity.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["SCALAR", "VECTORIZED", "active_path"]
+
+SCALAR = "scalar"
+VECTORIZED = "vectorized"
+
+_ENV_VAR = "REPRO_SIM_PATH"
+
+
+def active_path(override: str | None = None) -> str:
+    """Resolve the simulator path: explicit override > env var > default."""
+    raw = override if override is not None else os.environ.get(_ENV_VAR)
+    if raw is None or raw == "":
+        return VECTORIZED
+    value = raw.strip().lower()
+    if value not in (SCALAR, VECTORIZED):
+        raise ValueError(
+            f"invalid {_ENV_VAR}={raw!r}: expected {SCALAR!r} or {VECTORIZED!r}")
+    return value

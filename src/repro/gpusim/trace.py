@@ -12,7 +12,9 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 
-__all__ = ["Buffer", "Access", "Task", "buffer_token", "brick_token"]
+import numpy as np
+
+__all__ = ["Buffer", "Access", "BatchSpan", "Task", "buffer_token", "brick_token"]
 
 _buffer_ids = itertools.count()
 
@@ -86,28 +88,44 @@ class Access:
     dense: bool = False
     on_chip: bool = False
     assume_l2: bool = False
+    # Derived geometry, precomputed once at construction: the memory system
+    # reads these on every access, so recomputing them per use was a
+    # measurable share of the per-task hot path.
+    segments: int = field(init=False, repr=False, compare=False)
+    total_bytes: int = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.offset < 0 or self.nbytes < 0:
             raise ValueError(f"negative access geometry: {self}")
         if any(c < 1 or s < 0 for c, s in self.reps):
             raise ValueError(f"invalid reps: {self.reps}")
+        n = 1
+        for c, _ in self.reps:
+            n *= c
+        object.__setattr__(self, "segments", n)
+        object.__setattr__(self, "total_bytes", n * self.nbytes)
         if self.offset + self.span > self.buffer.nbytes:
             raise ValueError(
                 f"access [{self.offset}, {self.offset + self.span}) exceeds "
                 f"buffer {self.buffer.name!r} of {self.buffer.nbytes} bytes"
             )
 
-    @property
-    def segments(self) -> int:
-        n = 1
-        for c, _ in self.reps:
-            n *= c
-        return n
-
-    @property
-    def total_bytes(self) -> int:
-        return self.segments * self.nbytes
+    def __getattr__(self, name: str):
+        # Hand-built accesses (replayed or corrupted traces constructed via
+        # ``__new__``, as the sanitizer tests do) bypass ``__post_init__``;
+        # derive the cached geometry lazily so they still flow through the
+        # memory system.  Normal construction never reaches here.
+        if name == "segments":
+            n = 1
+            for c, _ in self.reps:
+                n *= c
+            object.__setattr__(self, "segments", n)
+            return n
+        if name == "total_bytes":
+            total = self.segments * self.nbytes
+            object.__setattr__(self, "total_bytes", total)
+            return total
+        raise AttributeError(name)
 
     @property
     def span(self) -> int:
@@ -144,6 +162,32 @@ class Access:
             else:
                 merged.append((s, e))
         return merged, True
+
+
+@dataclass(frozen=True)
+class BatchSpan:
+    """A uniform run of accesses inside ``Task.accesses``, in columnar form.
+
+    Executors that emit many same-shaped accesses against one buffer (brick
+    conversion sweeps, multi-brick region reads) record the run's geometry
+    once as a numpy offset vector plus shared scalars.  The per-``Access``
+    objects still exist in ``Task.accesses`` (the sanitizers and the scalar
+    oracle consume them unchanged); the vectorized memory path instead reads
+    the span and computes transaction counts with array arithmetic.
+
+    ``start``/``count`` index into the owning task's access list; the rows
+    ``accesses[start:start + count]`` are exactly the expansion of this span.
+    """
+
+    start: int
+    count: int
+    buffer: Buffer
+    offsets: np.ndarray          # int64, one element per row
+    nbytes: int                  # uniform contiguous bytes per row
+    write: bool
+    dense: bool
+    on_chip: bool
+    assume_l2: bool
 
 
 @dataclass
@@ -199,6 +243,7 @@ class Task:
     batch_index: int | None = None
     acquires: list[tuple] = field(default_factory=list)
     releases: list[tuple] = field(default_factory=list)
+    batch_spans: list[BatchSpan] = field(default_factory=list)
 
     def acquire(self, token: tuple) -> None:
         """Stamp an acquire edge: this task synchronized with ``token``'s
@@ -226,6 +271,59 @@ class Task:
         if nbytes > 0:
             self.accesses.append(Access(buffer, offset, nbytes, write=True, reps=reps,
                                         dense=dense, on_chip=on_chip))
+
+    def _emit_batch(self, buffer: Buffer, offsets, nbytes: int, write: bool,
+                    dense: bool, on_chip: bool, assume_l2: bool) -> None:
+        offs = np.ascontiguousarray(np.asarray(offsets, dtype=np.int64))
+        if offs.size == 0 or nbytes <= 0:
+            return
+        lo = int(offs.min())
+        hi = int(offs.max()) + nbytes
+        if lo < 0 or hi > buffer.nbytes:
+            raise ValueError(
+                f"batch access [{lo}, {hi}) exceeds buffer "
+                f"{buffer.name!r} of {buffer.nbytes} bytes")
+        self.batch_spans.append(BatchSpan(
+            start=len(self.accesses), count=offs.size, buffer=buffer,
+            offsets=offs, nbytes=nbytes, write=write, dense=dense,
+            on_chip=on_chip, assume_l2=assume_l2))
+        # Rows are constructed directly: the whole batch was bounds-checked
+        # above (uniform nbytes, contiguous, reps=()), so re-validating per
+        # row in __post_init__ would only repeat the same comparisons.
+        append = self.accesses.append
+        new = Access.__new__
+        sa = object.__setattr__
+        for off in offs.tolist():
+            a = new(Access)
+            sa(a, "buffer", buffer)
+            sa(a, "offset", off)
+            sa(a, "nbytes", nbytes)
+            sa(a, "write", write)
+            sa(a, "reps", ())
+            sa(a, "dense", dense)
+            sa(a, "on_chip", on_chip)
+            sa(a, "assume_l2", assume_l2)
+            sa(a, "segments", 1)
+            sa(a, "total_bytes", nbytes)
+            append(a)
+
+    def read_batch(self, buffer: Buffer, offsets, nbytes: int,
+                   dense: bool = False, on_chip: bool = False,
+                   assume_l2: bool = False) -> None:
+        """Emit one read per element of ``offsets`` (uniform ``nbytes`` each).
+
+        Equivalent to calling :meth:`read` in a loop, but additionally
+        records a :class:`BatchSpan` so the vectorized memory path can
+        account the run with array arithmetic instead of per-access work.
+        """
+        self._emit_batch(buffer, offsets, nbytes, write=False, dense=dense,
+                         on_chip=on_chip, assume_l2=assume_l2)
+
+    def write_batch(self, buffer: Buffer, offsets, nbytes: int,
+                    dense: bool = False, on_chip: bool = False) -> None:
+        """Batched form of :meth:`write`; see :meth:`read_batch`."""
+        self._emit_batch(buffer, offsets, nbytes, write=True, dense=dense,
+                         on_chip=on_chip, assume_l2=False)
 
     @property
     def bytes_read(self) -> int:

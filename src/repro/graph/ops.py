@@ -113,7 +113,14 @@ class OpSpec:
         return 1
 
     def weight_bytes(self, inputs: Sequence[TensorSpec]) -> int:
-        return sum(w.nbytes for w in self.init_weights(inputs, np.random.default_rng(0)).values())
+        # Analytic: profile-mode runs size weight buffers without paying for
+        # RNG materialization.  All weights are float32 (4 bytes).
+        return sum(4 * math.prod(s) for s in self.weight_shapes(inputs).values())
+
+    def weight_shapes(self, inputs: Sequence[TensorSpec]) -> dict[str, tuple[int, ...]]:
+        """Shapes of the op's weights (empty for weightless ops).  Must agree
+        with :meth:`init_weights`; ``tests/test_ops.py`` pins the pairing."""
+        return {}
 
     def init_weights(self, inputs: Sequence[TensorSpec], rng: np.random.Generator) -> dict[str, np.ndarray]:
         """Deterministic inference weights (empty for weightless ops)."""
@@ -196,6 +203,13 @@ class Conv(OpSpec):
         cin_per_group = inputs[0].channels // self.groups
         return 2 * cin_per_group * math.prod(self.kernel)
 
+    def weight_shapes(self, inputs: Sequence[TensorSpec]) -> dict[str, tuple[int, ...]]:
+        cin_per_group = inputs[0].channels // self.groups
+        shapes = {"weight": (self.out_channels, cin_per_group, *self.kernel)}
+        if self.bias:
+            shapes["bias"] = (self.out_channels,)
+        return shapes
+
     def init_weights(self, inputs: Sequence[TensorSpec], rng: np.random.Generator) -> dict[str, np.ndarray]:
         cin_per_group = inputs[0].channels // self.groups
         fan_in = cin_per_group * math.prod(self.kernel)
@@ -251,6 +265,12 @@ class ConvTranspose(OpSpec):
         # Each output element accumulates ~ Cin * prod(k)/prod(s) taps.
         taps = max(1, math.prod(self.kernel) // math.prod(self.stride))
         return 2 * inputs[0].channels * taps
+
+    def weight_shapes(self, inputs: Sequence[TensorSpec]) -> dict[str, tuple[int, ...]]:
+        shapes = {"weight": (inputs[0].channels, self.out_channels, *self.kernel)}
+        if self.bias:
+            shapes["bias"] = (self.out_channels,)
+        return shapes
 
     def init_weights(self, inputs: Sequence[TensorSpec], rng: np.random.Generator) -> dict[str, np.ndarray]:
         cin = inputs[0].channels
@@ -378,6 +398,10 @@ class BatchNorm(OpSpec):
     def flops_per_element(self, inputs: Sequence[TensorSpec]) -> int:
         return 2
 
+    def weight_shapes(self, inputs: Sequence[TensorSpec]) -> dict[str, tuple[int, ...]]:
+        c = inputs[0].channels
+        return {"scale": (c,), "shift": (c,)}
+
     def init_weights(self, inputs: Sequence[TensorSpec], rng: np.random.Generator) -> dict[str, np.ndarray]:
         c = inputs[0].channels
         return {
@@ -397,6 +421,9 @@ class Bias(OpSpec):
     def infer(self, inputs: Sequence[TensorSpec]) -> TensorSpec:
         self._check_arity(inputs)
         return inputs[0]
+
+    def weight_shapes(self, inputs: Sequence[TensorSpec]) -> dict[str, tuple[int, ...]]:
+        return {"bias": (inputs[0].channels,)}
 
     def init_weights(self, inputs: Sequence[TensorSpec], rng: np.random.Generator) -> dict[str, np.ndarray]:
         return {"bias": (rng.standard_normal(inputs[0].channels) * 0.01).astype(np.float32)}
@@ -518,6 +545,12 @@ class Dense(OpSpec):
 
     def flops_per_element(self, inputs: Sequence[TensorSpec]) -> int:
         return 2 * inputs[0].channels
+
+    def weight_shapes(self, inputs: Sequence[TensorSpec]) -> dict[str, tuple[int, ...]]:
+        shapes = {"weight": (self.out_features, inputs[0].channels)}
+        if self.bias:
+            shapes["bias"] = (self.out_features,)
+        return shapes
 
     def init_weights(self, inputs: Sequence[TensorSpec], rng: np.random.Generator) -> dict[str, np.ndarray]:
         cin = inputs[0].channels

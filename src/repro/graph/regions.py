@@ -76,7 +76,7 @@ class Interval:
 
     def clip(self, extent: int) -> "Interval":
         """Intersect with the valid index range ``[0, extent)``."""
-        return self.intersect(Interval(0, extent))
+        return Interval(max(self.lo, 0), min(self.hi, extent))
 
     def contains(self, other: "Interval") -> bool:
         if other.is_empty():
@@ -105,7 +105,7 @@ class Region(tuple):
     def __new__(cls, intervals: Iterable[Interval]):
         ivs = tuple(intervals)
         for iv in ivs:
-            if not isinstance(iv, Interval):
+            if iv.__class__ is not Interval and not isinstance(iv, Interval):
                 raise TypeError(f"Region expects Interval elements, got {type(iv).__name__}")
         return super().__new__(cls, ivs)
 

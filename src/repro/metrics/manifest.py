@@ -132,6 +132,10 @@ class RunManifest:
     metrics: dict = field(default_factory=dict)
     registry: dict = field(default_factory=dict)
     bottleneck: dict = field(default_factory=dict)
+    # Host-side wall-clock observations (simulator runtime, sim path).  Like
+    # ``created``/``git_sha`` these are provenance, not modeled results: the
+    # differ only compares ``metrics``, so wall times never gate CI.
+    wall: dict = field(default_factory=dict)
 
     # -- serialization -------------------------------------------------------
     def as_dict(self) -> dict:
@@ -148,6 +152,7 @@ class RunManifest:
             "metrics": self.metrics,
             "registry": self.registry,
             "bottleneck": self.bottleneck,
+            "wall": self.wall,
         }
 
     def to_json(self) -> str:
@@ -173,6 +178,7 @@ class RunManifest:
             metrics=dict(payload.get("metrics", {})),
             registry=dict(payload.get("registry", {})),
             bottleneck=dict(payload.get("bottleneck", {})),
+            wall=dict(payload.get("wall", {})),
         )
 
     def save(self, path: str | pathlib.Path) -> pathlib.Path:
@@ -204,6 +210,7 @@ def manifest_from_result(
     label: str = "",
     scale: str | None = None,
     build_args: Mapping | None = None,
+    wall: Mapping | None = None,
 ) -> RunManifest:
     """Build the manifest for one engine execution."""
     plan = result.plan
@@ -225,6 +232,7 @@ def manifest_from_result(
         metrics=_metrics_dict(result.metrics),
         registry=registry.as_dict() if registry is not None else {},
         bottleneck=reports,
+        wall=dict(wall or {}),
     )
 
 

@@ -57,22 +57,22 @@ class TestAnalyticResidency:
         buf = Buffer.new("b", 1 << 16)
         spilled = a.write(buf, 1 << 16)
         assert spilled == 0
-        hit, miss = a.read(buf, 1 << 16)
-        assert miss == 0 and hit == 1 << 16
+        hit, miss, spilled = a.read(buf, 1 << 16)
+        assert miss == 0 and hit == 1 << 16 and spilled == 0
 
     def test_oversized_buffer_streams(self):
         a = AnalyticResidency(1 << 20)
         buf = Buffer.new("big", 1 << 22)
         assert a.write(buf, 1 << 22) == 1 << 22  # all spilled
-        hit, miss = a.read(buf, 1 << 22)
-        assert hit == 0 and miss == 1 << 22
+        hit, miss, spilled = a.read(buf, 1 << 22)
+        assert hit == 0 and miss == 1 << 22 and spilled == 0
 
     def test_lru_between_buffers(self):
         a = AnalyticResidency(1000)
         b1, b2 = Buffer.new("x", 800), Buffer.new("y", 800)
         a.write(b1, 800)
         a.write(b2, 800)  # evicts b1 entirely
-        hit, _ = a.read(b1, 800)
+        hit, _, _ = a.read(b1, 800)
         assert hit == 0
 
     def test_discard_drops_dirty(self):

@@ -173,3 +173,51 @@ class TestMisc:
         specs = [spec2d(c=8)]
         ws = op.init_weights(specs, np.random.default_rng(0))
         assert op.weight_bytes(specs) == sum(w.nbytes for w in ws.values())
+
+
+class TestWeightShapes:
+    """`weight_shapes` is the analytic twin of `init_weights`: profile mode
+    sizes weight buffers from it without materializing RNG arrays, so the
+    two must agree shape-for-shape (and hence byte-for-byte)."""
+
+    CASES = [
+        (Conv(out_channels=16, kernel=(3, 3), bias=True), [None]),
+        (Conv(out_channels=16, kernel=(3, 3), bias=False), [None]),
+        (Conv(out_channels=16, kernel=(3, 3), groups=8), [None]),
+        (ConvTranspose(out_channels=12, kernel=(2, 2), stride=2, bias=True), [None]),
+        (BatchNorm(), [None]),
+        (Bias(), [None]),
+        (Activation("relu"), [None]),
+        (Add(), [None, None]),
+        (Pool(kernel=(2, 2), stride=2, mode="max"), [None]),
+    ]
+
+    def test_shapes_match_init_weights(self):
+        rng = np.random.default_rng(0)
+        for op, slots in self.CASES:
+            specs = [spec2d(c=8) for _ in slots]
+            shapes = op.weight_shapes(specs)
+            weights = op.init_weights(specs, rng)
+            assert set(shapes) == set(weights), op
+            for name, shape in shapes.items():
+                assert weights[name].shape == shape, (op, name)
+            assert op.weight_bytes(specs) == sum(w.nbytes for w in weights.values())
+
+    def test_dense_shapes_match(self):
+        op = Dense(out_features=10, bias=True)
+        specs = [TensorSpec(1, 64, ())]
+        shapes = op.weight_shapes(specs)
+        weights = op.init_weights(specs, np.random.default_rng(1))
+        assert {k: v.shape for k, v in weights.items()} == shapes
+
+    def test_zoo_graphs_agree(self):
+        from repro.models import zoo
+
+        for model in ("mobilenet_v1", "resnet50"):
+            graph = zoo.build(model, reduced=True)
+            rng = np.random.default_rng(0)
+            for node in graph.nodes:
+                specs = [graph.node(i).spec for i in node.inputs]
+                shapes = node.op.weight_shapes(specs)
+                weights = node.op.init_weights(specs, rng)
+                assert {k: v.shape for k, v in weights.items()} == shapes, node.name

@@ -191,8 +191,8 @@ class TestMutants:
 
         orig = MemoizedBrickExecutor._stamp_sync
 
-        def no_acquires(self, task, frame):
-            orig(self, task, frame)
+        def no_acquires(self, task, frame, own_offset):
+            orig(self, task, frame, own_offset)
             task.acquires.clear()  # the schedule stays correct; only HB edges go
 
         monkeypatch.setattr(MemoizedBrickExecutor, "_stamp_sync", no_acquires)
