@@ -10,7 +10,11 @@ Three passes behind one :class:`Diagnostic`/:class:`AnalysisReport` API:
 * the memoization-protocol checkers -- :func:`explore_protocol`
   exhaustively model-checks the 0->1->2 CAS tag automaton on a small brick
   grid, and :func:`replay_trace` validates a real run's task trace for
-  exactly-once and happens-before.
+  exactly-once and happens-before;
+* :func:`validate_rewrite` -- translation validation for graph rewrites:
+  re-derives well-formedness, interface preservation, removal/fusion
+  provenance, planner convexity, and (optionally) a bit-identical
+  differential run for every :class:`~repro.rewrite.Rewrite`.
 
 The *dynamic* counterpart lives in :mod:`repro.sanitize`: an
 :class:`ExecutionSanitizer` device observer (re-exported here) that checks
@@ -27,6 +31,7 @@ from repro.analysis.replay import (
     replay_tasks_from_chrome_trace,
     replay_trace,
 )
+from repro.analysis.rewrite_validate import validate_rewrite
 
 
 def __getattr__(name: str):
@@ -52,5 +57,6 @@ __all__ = [
     "ReplayTask",
     "replay_trace",
     "replay_tasks_from_chrome_trace",
+    "validate_rewrite",
     "ExecutionSanitizer",
 ]

@@ -131,13 +131,18 @@ def record_bench_manifest(
     brick: int | None = None,
     label: str | None = None,
     sim_path: str | None = None,
+    optimize: bool = False,
+    rules=None,
     **build_kwargs,
 ):
     """Record one zoo model's run as a ``BENCH_<model>[__<label>].json`` manifest.
 
     This is the trajectory entry point: the ``repro metrics record`` CLI and
     the CI perf-smoke job both come through here, so a committed baseline and
-    a fresh CI run are produced by the same code path.  Returns
+    a fresh CI run are produced by the same code path.  ``optimize`` runs the
+    validated graph-rewrite pipeline before compiling (``rules`` optionally
+    selects the batches, as for :meth:`BrickDLEngine.compile`); the rewrite
+    provenance lands in the manifest's ``rewrite`` block.  Returns
     ``(manifest, path)``.
     """
     from repro.metrics import bench_manifest_path, manifest_from_result
@@ -146,7 +151,7 @@ def record_bench_manifest(
     graph = zoo.build(model, **build_kwargs)
     engine = BrickDLEngine(graph, spec=spec, config=config,
                            strategy_override=strategy, brick_override=brick)
-    plan = engine.compile()
+    plan = engine.compile(optimize=optimize or rules is not None, rules=rules)
     device = Device(adapt_sectors(spec, plan), sim_path=sim_path)
     t0 = time.perf_counter()
     result = engine.run(inputs=None, functional=False, device=device, plan=plan)
@@ -157,6 +162,8 @@ def record_bench_manifest(
         model, result, device.spec, label=label, scale=scale_preset(),
         build_args=build_kwargs,
         wall={"sim_wall_s": round(sim_wall_s, 4), "sim_path": device.sim_path},
+        rewrite=(engine.rewrite_report.manifest_dict()
+                 if engine.rewrite_report is not None else None),
     )
     path = manifest.save(bench_manifest_path(model, out_dir, label=label))
     return manifest, path

@@ -7,6 +7,8 @@ Usage::
     python -m repro.cli run darknet53 --strategy memoized --compare
     python -m repro.cli profile resnet50 --trace run.json --csv run.csv
     python -m repro.cli lint resnet50 --protocol --run --sanitize
+    python -m repro.cli lint resnet50 --rewrites
+    python -m repro.cli rewrite resnet50 --reduced --validate
     python -m repro.cli sanitize vgg16 --reduced --strategy memoized
     python -m repro.cli tune vgg16 --image-size 96
     python -m repro.cli fig 10            # run an evaluation figure driver
@@ -197,12 +199,57 @@ def cmd_lint(args) -> int:
     if args.sanitize:
         result = _sanitized_run(graph, plan, strategy, args.brick)
         report.extend(result.sanitizer_report)
+    if args.rewrites:
+        # Dry run: apply the default rule batches to a throwaway copy of the
+        # graph and report which rules would fire, in the same Diagnostic
+        # currency.  Static validation findings ride along (and gate the
+        # exit code like any other error).
+        from repro.analysis import Diagnostic, Severity
+        from repro.rewrite import RuleRunner, default_batches
+
+        rewrite_report = RuleRunner(default_batches(), validate="static").run(graph)
+        report.extend(rewrite_report.validation)
+        for step in rewrite_report.steps:
+            detail = f"; {step.rewrite.detail}" if step.rewrite.detail else ""
+            report.add(Diagnostic(
+                pass_name="rewrite-validate", code="rewrite.would-fire",
+                severity=Severity.INFO,
+                message=f"rule {step.rule!r} would fire: {step.nodes_before} -> "
+                        f"{step.nodes_after} nodes{detail}"))
+        if not rewrite_report.steps:
+            report.add(Diagnostic(
+                pass_name="rewrite-validate", code="rewrite.no-op",
+                severity=Severity.INFO,
+                message="no rewrite rule fires on this graph"))
 
     print(report.summary(f"{args.model}: {len(graph)} nodes, "
                          f"{len(plan.subgraphs)} subgraphs"))
     for d in report.diagnostics:
         print(d.render())
     return 1 if report.errors else 0
+
+
+def _rewrite_batches(rules_csv: str | None):
+    """--rules NAME[,NAME...] -> rule batches (None = the default pipeline)."""
+    if not rules_csv:
+        return None
+    from repro.rewrite import batches_from_names
+
+    return batches_from_names(n.strip() for n in rules_csv.split(",") if n.strip())
+
+
+def cmd_rewrite(args) -> int:
+    """Apply the rewrite rule batches and translation-validate every step;
+    exit nonzero if any application is proved unsound."""
+    from repro.rewrite import RuleRunner, default_batches
+
+    graph = _build_model(args)
+    batches = _rewrite_batches(args.rules) or default_batches()
+    runner = RuleRunner(batches, validate="full" if args.validate else "static")
+    report = runner.run(graph)
+    print(f"{args.model}: {len(graph)} nodes")
+    print(report.summary())
+    return 0 if report.ok else 1
 
 
 def cmd_tune(args) -> int:
@@ -263,8 +310,16 @@ def cmd_metrics(args) -> int:
             build_kwargs["image_size"] = args.image_size
         manifest, path = record_bench_manifest(
             args.model, out_dir=args.out, strategy=strategy, brick=args.brick,
-            label=args.label, sim_path=args.sim_path, **build_kwargs)
+            label=args.label, sim_path=args.sim_path,
+            optimize=args.optimize, rules=_rewrite_batches(args.rules),
+            **build_kwargs)
         print(manifest.summary())
+        rw = manifest.rewrite
+        if rw:
+            fired = ", ".join(f"{k}x{v}" for k, v in rw.get("rules_fired", {}).items())
+            print(f"  rewrite: {rw.get('nodes_before')} -> {rw.get('nodes_after')} "
+                  f"nodes ({fired or 'no rule fired'}), "
+                  f"validated={rw.get('validated')}")
         wall = manifest.wall
         if wall:
             print(f"  sim: {wall.get('sim_wall_s', 0.0):.3f} s wall "
@@ -435,6 +490,9 @@ def build_parser() -> argparse.ArgumentParser:
                             help="replay-check an exported Chrome-trace JSON")
             sp.add_argument("--sanitize", action="store_true",
                             help="also execute functionally with the sanitizer suite")
+            sp.add_argument("--rewrites", action="store_true",
+                            help="dry-run the default rewrite rules and report "
+                                 "which would fire (statically validated)")
         if name == "profile":
             sp.add_argument("--trace", default=None, metavar="OUT.json",
                             help="write a Chrome-trace/Perfetto JSON timeline")
@@ -443,6 +501,20 @@ def build_parser() -> argparse.ArgumentParser:
             sp.add_argument("--per-node", action="store_true",
                             help="print the per-node attribution table")
         sp.set_defaults(fn=fn)
+
+    rw = sub.add_parser(
+        "rewrite", help="apply the graph-rewrite rules with translation validation")
+    rw.add_argument("model")
+    rw.add_argument("--image-size", type=int, default=None)
+    rw.add_argument("--reduced", action="store_true", help="use the test-scale config")
+    rw.add_argument("--rules", default=None, metavar="NAME[,NAME...]",
+                    help="comma-separated registry rule names "
+                         "(default: the seed pipeline)")
+    rw.add_argument("--validate", action="store_true",
+                    help="also discharge the differential obligation (original vs "
+                         "rewritten through the reference executor, bit-identical); "
+                         "default validation is static-only")
+    rw.set_defaults(fn=cmd_rewrite)
 
     fig = sub.add_parser("fig", help="run an evaluation-figure driver (7-11)")
     fig.add_argument("number", type=int)
@@ -468,6 +540,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="memory-accounting path (default: REPRO_SIM_PATH or vectorized)")
     rec.add_argument("--label", default=None,
                      help="manifest label / filename suffix (default: the strategy)")
+    rec.add_argument("--optimize", action="store_true",
+                     help="run the validated graph-rewrite pipeline before compiling")
+    rec.add_argument("--rules", default=None, metavar="NAME[,NAME...]",
+                     help="rewrite with these registry rules only (implies --optimize)")
     rec.set_defaults(fn=cmd_metrics)
     rep = msub.add_parser("report", help="summarize recorded manifests")
     rep.add_argument("manifests", nargs="+", metavar="MANIFEST.json")

@@ -43,7 +43,7 @@ from repro.core.reference import ReferenceExecutor
 from repro.errors import ExecutionError, PlanError
 from repro.graph.ir import Graph, Node
 from repro.graph.regions import Region
-from repro.graph.ops import Conv, ConvTranspose, Pool
+from repro.graph.ops import Conv, ConvTranspose, FusedOp, Pool
 from repro.graph.traversal import SubgraphView
 from repro.gpusim.device import Device, RunMetrics
 from repro.gpusim.spec import A100, GPUSpec
@@ -132,6 +132,8 @@ def _max_kernel_extent(graph: Graph, node_ids) -> int:
     k = 1
     for nid in node_ids:
         op = graph.node(nid).op
+        if isinstance(op, FusedOp):
+            op = op.primary  # pointwise epilogues never widen the footprint
         if isinstance(op, (Conv, ConvTranspose, Pool)):
             dil = getattr(op, "dilation", (1,) * len(op.kernel))
             k = max(k, max((kk - 1) * d + 1 for kk, d in zip(op.kernel, dil)))
@@ -163,6 +165,9 @@ class BrickDLEngine:
         self.layer_schedule = layer_schedule
         self.strict = strict
         self.sanitize = sanitize
+        # Set by ``compile(optimize=True)``: the rewrite runner's report
+        # (rules fired, per-step validation), consumed by run manifests.
+        self.rewrite_report: "RewriteReport | None" = None
 
     def for_batch(self, batch: int) -> "BrickDLEngine":
         """An engine over this graph rebatched to ``batch`` samples.
@@ -188,7 +193,18 @@ class BrickDLEngine:
         )
 
     # -- compilation -----------------------------------------------------------
-    def compile(self) -> ExecutionPlan:
+    def compile(self, optimize: bool = False, rules=None) -> ExecutionPlan:
+        """Compile the (optionally rewritten) graph into an execution plan.
+
+        ``optimize=True`` first runs the :mod:`repro.rewrite` rule batches
+        (``rules`` overrides the default :class:`~repro.rewrite.RuleRunner`)
+        and swaps in the rewritten graph.  Every rule application is
+        translation-validated -- statically always, and differentially
+        (original vs rewritten through the reference executor) in strict
+        mode -- and an unsound rewrite aborts compilation.
+        """
+        if optimize:
+            self._optimize_graph(rules)
         views = partition_graph(
             self.graph, self.spec, self.config, self.max_layers, self.layer_schedule
         )
@@ -198,6 +214,25 @@ class BrickDLEngine:
         if self.strict:
             self._strict_check_plan(plan)
         return plan
+
+    def _optimize_graph(self, rules) -> None:
+        """Run the rewrite rule batches; adopt the validated result."""
+        # Imported lazily: repro.rewrite's validator depends on this module.
+        from repro.errors import RewriteError
+        from repro.rewrite import RuleRunner, default_batches
+
+        if isinstance(rules, RuleRunner):
+            runner = rules
+        else:
+            runner = RuleRunner(rules if rules is not None else default_batches(),
+                                validate="full" if self.strict else "static")
+        report = runner.run(self.graph)
+        if not report.ok:
+            raise RewriteError(
+                "graph rewriting failed translation validation:\n"
+                + "\n".join(d.render() for d in report.validation.errors))
+        self.rewrite_report = report
+        self.graph = report.graph
 
     def _strict_check_plan(self, plan: ExecutionPlan) -> None:
         """Strict mode: run the analysis passes over the freshly compiled

@@ -31,5 +31,9 @@ class ExecutionError(ReproError):
     """A runtime failure during plan execution."""
 
 
+class RewriteError(ReproError):
+    """A graph rewrite failed translation validation (unsound rule)."""
+
+
 class LayoutError(ReproError):
     """A brick-layout operation was used inconsistently (bad grid, size...)."""

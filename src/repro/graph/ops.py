@@ -46,6 +46,8 @@ __all__ = [
     "Flatten",
     "Dense",
     "Softmax",
+    "FusedOp",
+    "flatten_stages",
     "normalize_tuple",
 ]
 
@@ -578,3 +580,139 @@ class Softmax(OpSpec):
 
     def flops_per_element(self, inputs: Sequence[TensorSpec]) -> int:
         return 5
+
+
+@dataclass(frozen=True)
+class FusedOp(OpSpec):
+    """A primary operator with a chain of fused pointwise epilogue stages.
+
+    ``FusedOp(conv, (bn, relu))`` computes ``relu(bn(conv(x)))`` as one graph
+    node by running the *exact same kernels in the same order* as the unfused
+    nodes would -- so fusion rewrites built on it are bit-identical by
+    construction (no weight re-association, which float32 arithmetic would
+    not preserve).  Classification, receptive-field geometry and arity all
+    delegate to the primary: epilogue stages are arity-1 pointwise, so they
+    change neither shapes nor the ``alpha X + beta`` block contract.
+
+    Weights of all stages live in the host node's single weight dict: the
+    primary's keys are unprefixed, epilogue stage ``i`` keys are prefixed
+    ``fused{i}.`` (a dot, never a slash -- node names contain slashes and the
+    NPZ sidecar keys split on the last one).
+    """
+
+    primary: OpSpec
+    epilogue: tuple[OpSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "epilogue", tuple(self.epilogue))
+        if isinstance(self.primary, (InputOp, FusedOp)):
+            raise ShapeError(f"FusedOp primary cannot be {self.primary.kind}")
+        if self.primary.is_global:
+            raise ShapeError("FusedOp primary must not be a global op")
+        if not self.epilogue:
+            raise ShapeError("FusedOp needs at least one epilogue stage")
+        for stage in self.epilogue:
+            if isinstance(stage, FusedOp):
+                raise ShapeError("FusedOp stages cannot nest")
+            if stage.arity != 1 or not stage.is_pointwise:
+                raise ShapeError(
+                    f"FusedOp epilogue stage {stage.kind} must be arity-1 pointwise")
+
+    @property
+    def kind(self) -> str:
+        return "fused[" + "+".join(s.kind for s in self.stages) + "]"
+
+    @property
+    def stages(self) -> tuple[OpSpec, ...]:
+        return (self.primary, *self.epilogue)
+
+    @property
+    def arity(self) -> int:
+        return self.primary.arity
+
+    @property
+    def is_local(self) -> bool:
+        return self.primary.is_local
+
+    @property
+    def is_reduction(self) -> bool:
+        return self.primary.is_reduction
+
+    @property
+    def is_pointwise(self) -> bool:
+        return self.primary.is_pointwise
+
+    def infer(self, inputs: Sequence[TensorSpec]) -> TensorSpec:
+        spec = self.primary.infer(inputs)
+        for stage in self.epilogue:
+            spec = stage.infer([spec])
+        return spec
+
+    def rf_maps(self, inputs: Sequence[TensorSpec], input_index: int = 0) -> tuple[RFMap, ...]:
+        # Epilogue stages are pointwise (identity maps), so the fused node's
+        # geometry is exactly the primary's.
+        return self.primary.rf_maps(inputs, input_index)
+
+    def _stage_inputs(self, inputs: Sequence[TensorSpec]) -> list[list[TensorSpec]]:
+        """Input specs seen by each stage, in order."""
+        per_stage = [list(inputs)]
+        spec = self.primary.infer(inputs)
+        for stage in self.epilogue:
+            per_stage.append([spec])
+            spec = stage.infer([spec])
+        return per_stage
+
+    def flops_per_element(self, inputs: Sequence[TensorSpec]) -> int:
+        # Epilogue outputs have as many elements as the primary's output
+        # (pointwise), so per-element costs sum.
+        return sum(stage.flops_per_element(ins)
+                   for stage, ins in zip(self.stages, self._stage_inputs(inputs)))
+
+    @staticmethod
+    def stage_prefix(stage_index: int) -> str:
+        """Weight-key prefix of stage ``stage_index`` (0 = primary: none)."""
+        return "" if stage_index == 0 else f"fused{stage_index - 1}."
+
+    def weight_shapes(self, inputs: Sequence[TensorSpec]) -> dict[str, tuple[int, ...]]:
+        shapes: dict[str, tuple[int, ...]] = {}
+        for i, (stage, ins) in enumerate(zip(self.stages, self._stage_inputs(inputs))):
+            prefix = self.stage_prefix(i)
+            for key, shape in stage.weight_shapes(ins).items():
+                shapes[prefix + key] = shape
+        return shapes
+
+    def init_weights(self, inputs: Sequence[TensorSpec], rng: np.random.Generator) -> dict[str, np.ndarray]:
+        weights: dict[str, np.ndarray] = {}
+        for i, (stage, ins) in enumerate(zip(self.stages, self._stage_inputs(inputs))):
+            prefix = self.stage_prefix(i)
+            for key, value in stage.init_weights(ins, rng).items():
+                weights[prefix + key] = value
+        return weights
+
+    def split_weights(self, weights: dict[str, np.ndarray]) -> list[dict[str, np.ndarray]]:
+        """Partition a fused weight dict into one dict per stage."""
+        per_stage: list[dict[str, np.ndarray]] = [{} for _ in self.stages]
+        for key, value in weights.items():
+            for i in range(len(self.epilogue), 0, -1):
+                prefix = self.stage_prefix(i)
+                if key.startswith(prefix):
+                    per_stage[i][key[len(prefix):]] = value
+                    break
+            else:
+                per_stage[0][key] = value
+        return per_stage
+
+    @staticmethod
+    def join_weights(stage_weights: Sequence[dict[str, np.ndarray]]) -> dict[str, np.ndarray]:
+        """Inverse of :meth:`split_weights`: prefix and merge per-stage dicts."""
+        joined: dict[str, np.ndarray] = {}
+        for i, stage in enumerate(stage_weights):
+            prefix = FusedOp.stage_prefix(i)
+            for key, value in stage.items():
+                joined[prefix + key] = value
+        return joined
+
+
+def flatten_stages(op: OpSpec) -> tuple[OpSpec, ...]:
+    """The plain-operator pipeline an op computes: its fused stages, or itself."""
+    return op.stages if isinstance(op, FusedOp) else (op,)

@@ -17,7 +17,7 @@ import numpy as np
 from repro.errors import GraphError
 from repro.graph import ops as ops_module
 from repro.graph.ir import Graph
-from repro.graph.ops import InputOp, OpSpec
+from repro.graph.ops import FusedOp, InputOp, OpSpec
 from repro.graph.tensorspec import TensorSpec
 
 __all__ = ["graph_to_dict", "graph_from_dict", "save_graph", "load_graph"]
@@ -28,6 +28,11 @@ _FORMAT_VERSION = 1
 def _op_to_dict(op: OpSpec) -> dict:
     if isinstance(op, InputOp):
         return {"kind": "InputOp", "spec": _spec_to_dict(op.spec)}
+    if isinstance(op, FusedOp):
+        # Nested OpSpec fields need recursion, not the generic field walk.
+        return {"kind": "FusedOp",
+                "primary": _op_to_dict(op.primary),
+                "epilogue": [_op_to_dict(s) for s in op.epilogue]}
     fields = {}
     for f in dataclasses.fields(op):
         v = getattr(op, f.name)
@@ -43,6 +48,9 @@ def _op_from_dict(d: dict) -> OpSpec:
         raise GraphError(f"unknown operator kind {kind!r}")
     if cls is InputOp:
         return InputOp(_spec_from_dict(d["spec"]))
+    if cls is FusedOp:
+        return FusedOp(_op_from_dict(d["primary"]),
+                       tuple(_op_from_dict(s) for s in d["epilogue"]))
     converted = {}
     for f in dataclasses.fields(cls):
         if f.name not in d:

@@ -28,12 +28,26 @@ from repro.graph.ir import Graph, Node
 from repro.graph.ops import BatchNorm, Bias, Conv
 
 __all__ = [
+    "clone_weights",
     "fold_batchnorm",
     "eliminate_dead_nodes",
     "eliminate_common_subexpressions",
     "optimize",
     "rebatch_graph",
 ]
+
+
+def clone_weights(node: Node) -> dict[str, np.ndarray]:
+    """The audited weight clone every graph rebuild goes through.
+
+    Returns a *fresh dict* holding the *same arrays*: the new graph can gain
+    or replace entries (``load_graph`` restores, rules fold) without leaking
+    into the source graph, while the arrays themselves stay shared -- weights
+    are batch- and rewrite-independent, and sharing is what keeps rebuilt
+    clones bit-identical to the source without re-initializing (and what the
+    serving layer's batched clones rely on for memory).
+    """
+    return dict(node.weights)
 
 
 def _rebuild(graph: Graph, skip: dict[int, int], name_suffix: str) -> Graph:
@@ -55,7 +69,7 @@ def _rebuild(graph: Graph, skip: dict[int, int], name_suffix: str) -> Graph:
         else:
             inputs = [resolve(i) for i in node.inputs]
             new = out.add(node.op, inputs, name=node.name)
-            new.weights = dict(node.weights)
+            new.weights = clone_weights(node)
         mapping[node.node_id] = new
     for o in graph.output_nodes:
         out.mark_output(resolve(o.node_id))
@@ -66,33 +80,20 @@ def _rebuild(graph: Graph, skip: dict[int, int], name_suffix: str) -> Graph:
 def rebatch_graph(graph: Graph, batch: int) -> Graph:
     """Rebuild ``graph`` with every input's batch dimension set to ``batch``.
 
-    All downstream specs are re-inferred, so any op whose output shape
-    follows generically from its inputs rebatches for free.  Weight arrays
-    are *shared* (not copied) with the source graph: weights are
-    batch-independent, and sharing is what lets the serving layer's batched
-    clones produce bit-identical outputs to the single-shot graph without
-    re-initializing.
+    The first production rule on the :mod:`repro.rewrite` interface: this
+    wrapper keeps the historical call signature (engine ``for_batch``, the
+    serving layer) while the match/apply logic and its proof obligations --
+    interface preserved up to batch, weight arrays *shared* via
+    :func:`clone_weights` so batched clones stay bit-identical to the
+    single-shot graph -- live on :class:`repro.rewrite.rules.RebatchRule`.
+    Returns ``graph`` itself when every input already has ``batch`` samples.
     """
     if batch < 1:
         raise ValueError(f"batch must be >= 1, got {batch}")
-    if all(n.spec.batch == batch for n in graph.input_nodes):
-        return graph
-    from repro.graph.tensorspec import TensorSpec
+    from repro.rewrite.rules import RebatchRule
 
-    out = Graph(graph.name)
-    mapping: dict[int, Node] = {}
-    for node in graph.nodes:
-        if node.is_input:
-            spec = TensorSpec(batch, node.spec.channels, node.spec.spatial, node.spec.dtype)
-            new = out.input(spec, name=node.name)
-        else:
-            new = out.add(node.op, [mapping[i] for i in node.inputs], name=node.name)
-            new.weights = node.weights
-        mapping[node.node_id] = new
-    for o in graph.output_nodes:
-        out.mark_output(mapping[o.node_id])
-    out.validate()
-    return out
+    rewrite = RebatchRule(batch).apply(graph)
+    return graph if rewrite is None else rewrite.graph
 
 
 def fold_batchnorm(graph: Graph) -> Graph:
@@ -117,7 +118,7 @@ def fold_batchnorm(graph: Graph) -> Graph:
             continue
         if pred.node_id in skip:
             continue
-        base = folded_weights.get(pred.node_id) or dict(pred.weights)
+        base = folded_weights.get(pred.node_id) or clone_weights(pred)
         w = base["weight"]
         b = base.get("bias")
         if b is None:
@@ -152,7 +153,7 @@ def fold_batchnorm(graph: Graph) -> Graph:
             mapping[node.node_id] = out.input(node.spec, name=node.name)
             continue
         op = node.op
-        weights = dict(node.weights)
+        weights = clone_weights(node)
         if node.node_id in folded_weights:
             # The folded conv now carries a bias unconditionally.
             op = Conv(out_channels=op.out_channels, kernel=op.kernel, stride=op.stride,
@@ -190,7 +191,7 @@ def eliminate_dead_nodes(graph: Graph) -> Graph:
             mapping[node.node_id] = out.input(node.spec, name=node.name)
         else:
             new = out.add(node.op, [mapping[i] for i in node.inputs], name=node.name)
-            new.weights = dict(node.weights)
+            new.weights = clone_weights(node)
             mapping[node.node_id] = new
     for o in graph.output_nodes:
         out.mark_output(mapping[o.node_id])

@@ -36,6 +36,7 @@ from repro.graph.ops import (
     ConvTranspose,
     Dense,
     Flatten,
+    FusedOp,
     GlobalAvgPool,
     InputOp,
     OpSpec,
@@ -60,6 +61,8 @@ __all__ = ["apply_node_full", "apply_node_local", "pad_value_for"]
 
 def pad_value_for(op: OpSpec) -> float:
     """Neutral fill value for out-of-feature-map patch elements."""
+    if isinstance(op, FusedOp):
+        op = op.primary  # the primary reads the patch; epilogues are pointwise
     if isinstance(op, Pool) and op.mode == "max":
         return -np.inf
     return 0.0
@@ -69,6 +72,14 @@ def apply_node_full(op: OpSpec, inputs: Sequence[np.ndarray], weights: dict[str,
     """Execute ``op`` on full activations (feature-map padding applied)."""
     if isinstance(op, InputOp):
         return inputs[0] if inputs else op.spec.zeros()
+    if isinstance(op, FusedOp):
+        # Run the exact same kernels, in the same order, as the unfused
+        # nodes would: fusion rewrites stay bit-identical by construction.
+        per_stage = op.split_weights(weights)
+        out = apply_node_full(op.primary, inputs, per_stage[0])
+        for stage, sw in zip(op.epilogue, per_stage[1:]):
+            out = apply_node_full(stage, [out], sw)
+        return out
     if isinstance(op, Conv):
         return conv_forward(
             inputs[0], weights["weight"], weights.get("bias"),
@@ -159,6 +170,15 @@ def apply_node_local(
         Zero for all stencil ops; positive for transposed convolutions.
     """
     ndim = len(out_spatial)
+    if isinstance(op, FusedOp):
+        # The primary consumes the gathered patches (its rf_maps sized them);
+        # pointwise epilogue stages then run on its cropped local output.
+        per_stage = op.split_weights(weights)
+        local = apply_node_local(op.primary, patches, per_stage[0], out_spatial, offsets)
+        zero = (0,) * ndim
+        for stage, sw in zip(op.epilogue, per_stage[1:]):
+            local = apply_node_local(stage, [local], sw, out_spatial, zero)
+        return local
     per_input = _per_input_offsets(offsets, len(patches), ndim)
     patches = [p[None] for p in patches]  # kernels expect a batch axis
     # Multi-input ops combine elementwise: each patch is positioned by its

@@ -136,6 +136,10 @@ class RunManifest:
     # ``created``/``git_sha`` these are provenance, not modeled results: the
     # differ only compares ``metrics``, so wall times never gate CI.
     wall: dict = field(default_factory=dict)
+    # Graph-rewrite provenance (RewriteReport.manifest_dict(): rules fired,
+    # nodes removed/fused, validation level).  Empty when the run used the
+    # graph as built.  Provenance only -- the differ ignores it.
+    rewrite: dict = field(default_factory=dict)
 
     # -- serialization -------------------------------------------------------
     def as_dict(self) -> dict:
@@ -153,6 +157,7 @@ class RunManifest:
             "registry": self.registry,
             "bottleneck": self.bottleneck,
             "wall": self.wall,
+            "rewrite": self.rewrite,
         }
 
     def to_json(self) -> str:
@@ -179,6 +184,7 @@ class RunManifest:
             registry=dict(payload.get("registry", {})),
             bottleneck=dict(payload.get("bottleneck", {})),
             wall=dict(payload.get("wall", {})),
+            rewrite=dict(payload.get("rewrite", {})),
         )
 
     def save(self, path: str | pathlib.Path) -> pathlib.Path:
@@ -211,6 +217,7 @@ def manifest_from_result(
     scale: str | None = None,
     build_args: Mapping | None = None,
     wall: Mapping | None = None,
+    rewrite: Mapping | None = None,
 ) -> RunManifest:
     """Build the manifest for one engine execution."""
     plan = result.plan
@@ -233,6 +240,7 @@ def manifest_from_result(
         registry=registry.as_dict() if registry is not None else {},
         bottleneck=reports,
         wall=dict(wall or {}),
+        rewrite=dict(rewrite or {}),
     )
 
 

@@ -1,0 +1,50 @@
+"""Rule-based graph rewriting with machine-checkable proof obligations.
+
+The framework (:mod:`repro.rewrite.rule`), the seed rules
+(:mod:`repro.rewrite.rules`), and the validating runner
+(:mod:`repro.rewrite.runner`).  Soundness is never assumed: every rule
+application can be (and in the engine's strict mode *is*) checked by the
+translation-validation pass in :func:`repro.analysis.validate_rewrite`.
+"""
+
+from repro.rewrite.rule import RemovedNode, Rewrite, Rule
+from repro.rewrite.rules import (
+    RULES,
+    FoldConvBatchNorm,
+    FusePointwiseChains,
+    LayoutAwareCSE,
+    PruneDeadNodes,
+    PruneIdentityOps,
+    RebatchRule,
+)
+from repro.rewrite.runner import (
+    FixedPoint,
+    Once,
+    RewriteReport,
+    RewriteStep,
+    RuleBatch,
+    RuleRunner,
+    batches_from_names,
+    default_batches,
+)
+
+__all__ = [
+    "Rule",
+    "Rewrite",
+    "RemovedNode",
+    "RULES",
+    "FoldConvBatchNorm",
+    "FusePointwiseChains",
+    "LayoutAwareCSE",
+    "PruneDeadNodes",
+    "PruneIdentityOps",
+    "RebatchRule",
+    "Once",
+    "FixedPoint",
+    "RuleBatch",
+    "RuleRunner",
+    "RewriteStep",
+    "RewriteReport",
+    "default_batches",
+    "batches_from_names",
+]

@@ -1,0 +1,97 @@
+"""The rewrite-rule interface: match/apply plus declared proof obligations.
+
+A :class:`Rule` is a semantics-preserving graph transformation.  Its
+``apply`` does *not* mutate the input graph -- the IR is append-only, so
+every rule rebuilds -- and returns a :class:`Rewrite` carrying the result
+**and a justification for every change it made**: which nodes were removed
+and why (dead / identity / merged-into-a-twin / fused-into-a-host), which
+host nodes absorbed which source chains, whether the interface batch was
+rescaled.  The rule additionally declares machine-checkable obligations as
+class attributes (``exact``, ``preserves_interface``, ``shares_weights``).
+
+None of this is trusted.  The translation-validation pass
+(:func:`repro.analysis.validate_rewrite`) independently re-derives every
+claim from the before/after graph pair: liveness for "dead", weight-value
+identities for "identity", structural+weight equality for "merged", chain
+reconstruction for "fused", and a differential run through the reference
+executor for the declared numerical contract.  The provenance here only
+tells the validator *what to check*, never *that it holds*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graph.ir import Graph
+
+__all__ = ["RemovedNode", "Rewrite", "Rule"]
+
+# Justification tags a rule may attach to a removed node.
+REASONS = ("dead", "identity", "merged", "fused")
+
+
+@dataclass(frozen=True)
+class RemovedNode:
+    """One node the rewrite dropped, with its claimed justification.
+
+    ``into`` names the node that now stands for the removed one's value:
+    the forwarding producer for ``identity``, the surviving twin for
+    ``merged``, the absorbing host for ``fused``; ``None`` for ``dead``
+    (nothing consumed it, so nothing stands in).
+    """
+
+    name: str
+    reason: str
+    into: str | None = None
+
+
+@dataclass
+class Rewrite:
+    """One rule application: the rewritten graph plus its provenance."""
+
+    rule: str
+    graph: Graph
+    removed: tuple[RemovedNode, ...] = ()
+    # host node name -> the ordered chain of source node names (ending with
+    # the host's own pre-rewrite self) whose fused stages it now computes.
+    fused: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    # RebatchRule: the new interface batch size (None for batch-preserving
+    # rules).
+    batch: int | None = None
+    detail: str = ""
+
+    @property
+    def nodes_removed(self) -> int:
+        return len(self.removed)
+
+    @property
+    def nodes_fused(self) -> int:
+        return sum(1 for r in self.removed if r.reason == "fused")
+
+
+class Rule:
+    """Base class for rewrite rules.
+
+    Subclasses implement :meth:`apply` and override the obligation flags
+    they cannot honor.  ``apply`` returns ``None`` when the rule does not
+    fire (so fixed-point batches terminate on no-change, and callers can
+    rely on ``rewrite.graph is not graph``).
+    """
+
+    #: Stable registry name (also what diagnostics cite).
+    name: str = "rule"
+    #: Differential obligation: outputs must be *bit-identical* (else the
+    #: validator relaxes to allclose -- no seed rule needs that today).
+    exact: bool = True
+    #: Interface obligation: input/output node names and specs unchanged.
+    preserves_interface: bool = True
+    #: Weight obligation: surviving nodes must reference the *same* weight
+    #: arrays as their originals (not equal copies).  Declared by rebatch,
+    #: where sharing is what makes batched clones bit-identical for free.
+    shares_weights: bool = False
+
+    def apply(self, graph: Graph) -> Rewrite | None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -14,8 +14,6 @@ from repro.bench.export import figure_to_csv, figure_to_json, write_figure
 from repro.core.engine import BrickDLEngine
 from repro.core.plan import Strategy
 from repro.core.reference import ReferenceExecutor
-from repro.graph.builder import GraphBuilder
-from repro.graph.tensorspec import TensorSpec
 
 
 @pytest.fixture(scope="module")
@@ -44,45 +42,8 @@ class TestExport:
             write_figure(small_figure, tmp_path / "fig.xlsx")
 
 
-@st.composite
-def random_dag(draw):
-    """A random small DAG mixing convs, pointwise ops, adds and concats."""
-    size = draw(st.sampled_from([16, 24]))
-    b = GraphBuilder("dag", TensorSpec(1, 4, (size, size)))
-    frontier = [b.current]
-    n_ops = draw(st.integers(2, 7))
-    for i in range(n_ops):
-        kind = draw(st.sampled_from(["conv", "relu", "bn", "add", "concat", "branch"]))
-        src = frontier[draw(st.integers(0, len(frontier) - 1))]
-        try:
-            if kind == "conv":
-                node = b.conv(4, 3, padding=1, src=src, name=f"n{i}")
-            elif kind == "relu":
-                node = b.relu(src=src, name=f"n{i}")
-            elif kind == "bn":
-                node = b.batchnorm(src=src, name=f"n{i}")
-            elif kind == "add":
-                other = frontier[draw(st.integers(0, len(frontier) - 1))]
-                if other.spec != src.spec:
-                    continue
-                node = b.add(src, other, name=f"n{i}")
-            elif kind == "concat":
-                other = frontier[draw(st.integers(0, len(frontier) - 1))]
-                if other.spec.spatial != src.spec.spatial:
-                    continue
-                node = b.concat([src, other], name=f"n{i}")
-                node = b.conv(4, 1, src=node, name=f"n{i}proj")  # re-normalize channels
-            else:  # branch: add a parallel conv off src
-                node = b.conv(4, 3, padding=1, src=src, name=f"n{i}")
-            frontier.append(node)
-        except Exception:
-            continue
-    # Join the frontier into a single output so everything is live.
-    out = frontier[-1]
-    for other in frontier[:-1]:
-        if other.spec == out.spec:
-            out = b.add(out, other, name=f"join{other.node_id}")
-    return b.finish(output=out)
+# The random-DAG corpus is shared with the rewrite property tests.
+from testlib import random_dag  # noqa: E402
 
 
 class TestRandomDagEquivalence:

@@ -379,7 +379,12 @@ def test_rebatch_graph_shares_weights_and_engine_for_batch():
     for node in graph.nodes:
         if node.weights:
             twin = batched.node(node.name)
-            assert twin.weights is node.weights  # shared, not copied
+            # The audited clone: a fresh dict (mutating the clone cannot leak
+            # into the source graph) holding the *same* arrays (no copies).
+            assert twin.weights is not node.weights
+            assert twin.weights.keys() == node.weights.keys()
+            for key, array in node.weights.items():
+                assert twin.weights[key] is array
     assert rebatch_graph(graph, 1) is graph  # no-op at the same batch
 
     engine = BrickDLEngine(graph)

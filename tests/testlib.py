@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import numpy as np
+from hypothesis import strategies as st
 
 from repro.graph.builder import GraphBuilder
 from repro.graph.tensorspec import TensorSpec
@@ -48,3 +49,48 @@ def residual_graph(size: int = 32, name: str = "residual"):
 def input_for(graph, seed: int = 0) -> np.ndarray:
     spec = graph.input_nodes[0].spec
     return np.random.default_rng(seed).standard_normal(spec.shape).astype(np.float32)
+
+
+@st.composite
+def random_dag(draw):
+    """A random small DAG mixing convs, pointwise ops, adds and concats.
+
+    The corpus behind the property tests: merged-vs-naive equivalence in
+    test_export_and_random_dags.py and rewrite soundness in test_rewrite.py.
+    """
+    size = draw(st.sampled_from([16, 24]))
+    b = GraphBuilder("dag", TensorSpec(1, 4, (size, size)))
+    frontier = [b.current]
+    n_ops = draw(st.integers(2, 7))
+    for i in range(n_ops):
+        kind = draw(st.sampled_from(["conv", "relu", "bn", "add", "concat", "branch"]))
+        src = frontier[draw(st.integers(0, len(frontier) - 1))]
+        try:
+            if kind == "conv":
+                node = b.conv(4, 3, padding=1, src=src, name=f"n{i}")
+            elif kind == "relu":
+                node = b.relu(src=src, name=f"n{i}")
+            elif kind == "bn":
+                node = b.batchnorm(src=src, name=f"n{i}")
+            elif kind == "add":
+                other = frontier[draw(st.integers(0, len(frontier) - 1))]
+                if other.spec != src.spec:
+                    continue
+                node = b.add(src, other, name=f"n{i}")
+            elif kind == "concat":
+                other = frontier[draw(st.integers(0, len(frontier) - 1))]
+                if other.spec.spatial != src.spec.spatial:
+                    continue
+                node = b.concat([src, other], name=f"n{i}")
+                node = b.conv(4, 1, src=node, name=f"n{i}proj")  # re-normalize channels
+            else:  # branch: add a parallel conv off src
+                node = b.conv(4, 3, padding=1, src=src, name=f"n{i}")
+            frontier.append(node)
+        except Exception:
+            continue
+    # Join the frontier into a single output so everything is live.
+    out = frontier[-1]
+    for other in frontier[:-1]:
+        if other.spec == out.spec:
+            out = b.add(out, other, name=f"join{other.node_id}")
+    return b.finish(output=out)
