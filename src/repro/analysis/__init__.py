@@ -14,7 +14,13 @@ Three passes behind one :class:`Diagnostic`/:class:`AnalysisReport` API:
 * :func:`validate_rewrite` -- translation validation for graph rewrites:
   re-derives well-formedness, interface preservation, removal/fusion
   provenance, planner convexity, and (optionally) a bit-identical
-  differential run for every :class:`~repro.rewrite.Rewrite`.
+  differential run for every :class:`~repro.rewrite.Rewrite`;
+* :func:`analyze_effects` -- schedule-independent effect analysis: per
+  (subgraph, node, brick) read/write region summaries proving race freedom
+  over all interleavings and exactly-once write coverage, plus static
+  DRAM/L2 traffic bounds (:func:`check_manifest_bracket` asserts they
+  bracket a measured manifest, :func:`effect_prune` uses them to skip
+  dominated tuning candidates without simulation).
 
 The *dynamic* counterpart lives in :mod:`repro.sanitize`: an
 :class:`ExecutionSanitizer` device observer (re-exported here) that checks
@@ -23,6 +29,13 @@ reporting through the same currency.
 """
 
 from repro.analysis.diagnostics import AnalysisReport, Diagnostic, Severity
+from repro.analysis.effects import (
+    EffectMutation,
+    EffectReport,
+    analyze_effects,
+    check_manifest_bracket,
+    effect_prune,
+)
 from repro.analysis.graph_lint import lint_graph
 from repro.analysis.plan_verify import verify_plan
 from repro.analysis.protocol import GridModel, ProtocolModel, explore_protocol
@@ -34,7 +47,7 @@ from repro.analysis.replay import (
 from repro.analysis.rewrite_validate import validate_rewrite
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> object:
     # Lazy re-export: repro.sanitize itself imports repro.analysis.diagnostics
     # (which executes this package __init__ first), so an eager import here
     # would be circular.
@@ -51,6 +64,11 @@ __all__ = [
     "Severity",
     "lint_graph",
     "verify_plan",
+    "EffectMutation",
+    "EffectReport",
+    "analyze_effects",
+    "check_manifest_bracket",
+    "effect_prune",
     "GridModel",
     "ProtocolModel",
     "explore_protocol",

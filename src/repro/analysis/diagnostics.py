@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import Iterator
 
 __all__ = ["Severity", "Diagnostic", "AnalysisReport"]
 
@@ -103,7 +104,7 @@ class AnalysisReport:
     def __len__(self) -> int:
         return len(self.diagnostics)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Diagnostic]:
         return iter(self.diagnostics)
 
     # -- rendering -----------------------------------------------------------

@@ -96,7 +96,7 @@ _IDLE = ((), (), 0, None, None)
 
 
 def _step(grid: GridModel, protocol: ProtocolModel, tags: tuple, owns: tuple,
-          workers: tuple, w: int):
+          workers: tuple, w: int) -> tuple:
     """One deterministic scheduler turn for worker ``w``.
 
     Returns ``(tags, owns, workers, event)`` where ``event`` is None or one
@@ -108,13 +108,13 @@ def _step(grid: GridModel, protocol: ProtocolModel, tags: tuple, owns: tuple,
     tags = list(tags)
     owns = list(owns)
 
-    def acquire(node):
+    def acquire(node: tuple[int, int]) -> str | None:
         idx = grid.index(node)
         tags[idx] = _IN_PROGRESS
         owns[idx] += 1
         return "double-compute" if owns[idx] > 1 else None
 
-    def put(state):
+    def put(state: tuple) -> tuple:
         ws = list(workers)
         ws[w] = state
         return tuple(tags), tuple(owns), tuple(ws)

@@ -23,11 +23,15 @@ asserts, for every memoized subgraph:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
 
 from repro.analysis.diagnostics import AnalysisReport, Diagnostic, Severity
 from repro.core.plan import ExecutionPlan, SubgraphPlan
 from repro.graph.regions import Region
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.core.bricked import BrickGrid
+    from repro.graph.ir import Graph
 
 __all__ = ["ReplayTask", "replay_trace", "replay_tasks_from_chrome_trace"]
 
@@ -117,7 +121,7 @@ def replay_trace(plan: ExecutionPlan, records: Iterable) -> AnalysisReport:
     return report
 
 
-def _grids(graph, sub: SubgraphPlan) -> dict[int, "object"]:
+def _grids(graph: "Graph", sub: SubgraphPlan) -> dict[int, "BrickGrid"]:
     from repro.core.bricked import BrickGrid
 
     grids = {}
@@ -130,7 +134,7 @@ def _grids(graph, sub: SubgraphPlan) -> dict[int, "object"]:
     return grids
 
 
-def _replay_subgraph(graph, sub: SubgraphPlan, tasks: list[ReplayTask],
+def _replay_subgraph(graph: "Graph", sub: SubgraphPlan, tasks: list[ReplayTask],
                      report: AnalysisReport) -> None:
     members = set(sub.subgraph.node_ids)
     grids = _grids(graph, sub)
@@ -213,15 +217,15 @@ def _replay_subgraph(graph, sub: SubgraphPlan, tasks: list[ReplayTask],
                       sub.index, t.node_id)
 
 
-def _all_bricks(grid_shape: Sequence[int]):
+def _all_bricks(grid_shape: Sequence[int]) -> list[tuple[int, ...]]:
     positions: list[tuple[int, ...]] = [()]
     for g in grid_shape:
         positions = [p + (i,) for p in positions for i in range(g)]
     return positions
 
 
-def _member_deps(graph, members: set[int], grids: dict, nid: int,
-                 gpos: tuple[int, ...], batch: int):
+def _member_deps(graph: "Graph", members: set[int], grids: dict, nid: int,
+                 gpos: tuple[int, ...], batch: int) -> "set[tuple[int, tuple[int, ...], int]]":
     """Member bricks the task for (nid, gpos, batch) reads -- the same
     receptive-field derivation as ``MemoizedBrickExecutor._dependencies``,
     recomputed from the graph."""

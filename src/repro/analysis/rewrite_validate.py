@@ -49,6 +49,7 @@ from repro.graph.ir import Graph, Node
 from repro.graph.ops import BatchNorm, Bias, FusedOp, OpSpec, Pool
 
 if TYPE_CHECKING:
+    from repro.graph.tensorspec import TensorSpec
     from repro.rewrite.rule import RemovedNode, Rewrite, Rule
 
 __all__ = ["validate_rewrite"]
@@ -148,7 +149,8 @@ def _check_wellformed(ctx: _Context) -> None:
 
 
 # -- interface ---------------------------------------------------------------
-def _spec_matches(before_spec, after_spec, batch: int | None) -> bool:
+def _spec_matches(before_spec: "TensorSpec", after_spec: "TensorSpec",
+                  batch: int | None) -> bool:
     if batch is None:
         return before_spec == after_spec
     return (after_spec.batch == batch
@@ -521,7 +523,8 @@ def _check_differential(ctx: _Context, seeds: Sequence[int]) -> None:
                         None if got is None else got[k:k + 1], seed)
 
 
-def _compare_outputs(ctx: _Context, name: str, expected, got, seed: int) -> None:
+def _compare_outputs(ctx: _Context, name: str, expected: "np.ndarray",
+                     got: "np.ndarray | None", seed: int) -> None:
     if got is None:
         ctx.diag("rewrite.differential",
                  f"output {name!r} missing from the rewritten graph's results "

@@ -199,6 +199,16 @@ def cmd_lint(args) -> int:
     if args.sanitize:
         result = _sanitized_run(graph, plan, strategy, args.brick)
         report.extend(result.sanitizer_report)
+    if args.effects or args.baseline:
+        from repro.analysis import analyze_effects, check_manifest_bracket
+
+        effect_report = analyze_effects(plan, engine.spec, engine.config)
+        report.extend(effect_report)
+        if args.baseline:
+            from repro.metrics.manifest import RunManifest
+
+            report.extend(check_manifest_bracket(
+                effect_report, RunManifest.load(args.baseline)))
     if args.rewrites:
         # Dry run: apply the default rule batches to a throwaway copy of the
         # graph and report which rules would fire, in the same Diagnostic
@@ -493,6 +503,13 @@ def build_parser() -> argparse.ArgumentParser:
             sp.add_argument("--rewrites", action="store_true",
                             help="dry-run the default rewrite rules and report "
                                  "which would fire (statically validated)")
+            sp.add_argument("--effects", action="store_true",
+                            help="also run the static effect analysis: race-freedom "
+                                 "and exactly-once coverage proofs plus DRAM/L2 "
+                                 "traffic bounds (no device execution)")
+            sp.add_argument("--baseline", default=None, metavar="MANIFEST.json",
+                            help="with --effects: assert the static DRAM bounds "
+                                 "bracket this measured run manifest")
         if name == "profile":
             sp.add_argument("--trace", default=None, metavar="OUT.json",
                             help="write a Chrome-trace/Perfetto JSON timeline")

@@ -238,7 +238,7 @@ class BrickDLEngine:
         """Strict mode: run the analysis passes over the freshly compiled
         plan and refuse to hand out one that fails its own invariants."""
         # Imported lazily: repro.analysis depends on this module.
-        from repro.analysis import lint_graph, verify_plan
+        from repro.analysis import analyze_effects, lint_graph, verify_plan
 
         report = lint_graph(self.graph)
         report.extend(verify_plan(
@@ -247,6 +247,9 @@ class BrickDLEngine:
             brick_override=self.brick_override,
             layer_schedule=self.layer_schedule,
         ))
+        # Schedule-independent proofs: race freedom over all interleavings
+        # and exactly-once write coverage for the plan about to be handed out.
+        report.extend(analyze_effects(plan, self.spec, self.config))
         if not report.ok:
             raise PlanError(
                 "strict compile failed verification:\n"

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Iterable, Iterator, Sequence
 
 from repro.errors import ShapeError
 
@@ -89,7 +89,7 @@ class Interval:
     def expand(self, lo_by: int, hi_by: int) -> "Interval":
         return Interval(self.lo - lo_by, self.hi + hi_by)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[int]:
         return iter(range(self.lo, self.hi))
 
 
@@ -102,7 +102,7 @@ class Region(tuple):
 
     __slots__ = ()
 
-    def __new__(cls, intervals: Iterable[Interval]):
+    def __new__(cls, intervals: Iterable[Interval]) -> "Region":
         ivs = tuple(intervals)
         for iv in ivs:
             if iv.__class__ is not Interval and not isinstance(iv, Interval):

@@ -38,16 +38,20 @@ MODELS: dict[str, Callable[..., Graph]] = {
 
 # Small-but-structurally-faithful configurations for functional testing.
 REDUCED_KWARGS: dict[str, dict] = {
-    "vgg16": dict(image_size=64, width_scale=0.125, fc_width=256, num_classes=10),
-    "resnet50": dict(image_size=64, width_scale=0.25, num_classes=10),
-    "darknet53": dict(image_size=64, width_scale=0.125, stage_blocks=(1, 1, 2, 2, 1), num_classes=10),
-    "resnet3d34": dict(clip=(8, 32, 32), width_scale=0.25, stage_blocks=(1, 1, 2, 1), num_classes=10),
-    "drn26": dict(image_size=64, width_scale=0.25, num_classes=10),
-    "deepcam": dict(image_size=64, width_scale=0.25, in_channels=4, num_classes=3),
-    "inception_v4": dict(image_size=64, width_scale=0.125, module_counts=(1, 1, 1), num_classes=10),
-    "resnet101": dict(image_size=64, width_scale=0.25, num_classes=10),
-    "vgg19": dict(image_size=64, width_scale=0.125, fc_width=256, num_classes=10),
-    "mobilenet_v1": dict(image_size=64, width_scale=0.25, blocks=((64, 1), (128, 2), (128, 1), (256, 2)), num_classes=10),
+    "vgg16": {"image_size": 64, "width_scale": 0.125, "fc_width": 256, "num_classes": 10},
+    "resnet50": {"image_size": 64, "width_scale": 0.25, "num_classes": 10},
+    "darknet53": {"image_size": 64, "width_scale": 0.125, "stage_blocks": (1, 1, 2, 2, 1),
+                  "num_classes": 10},
+    "resnet3d34": {"clip": (8, 32, 32), "width_scale": 0.25, "stage_blocks": (1, 1, 2, 1),
+                   "num_classes": 10},
+    "drn26": {"image_size": 64, "width_scale": 0.25, "num_classes": 10},
+    "deepcam": {"image_size": 64, "width_scale": 0.25, "in_channels": 4, "num_classes": 3},
+    "inception_v4": {"image_size": 64, "width_scale": 0.125, "module_counts": (1, 1, 1),
+                     "num_classes": 10},
+    "resnet101": {"image_size": 64, "width_scale": 0.25, "num_classes": 10},
+    "vgg19": {"image_size": 64, "width_scale": 0.125, "fc_width": 256, "num_classes": 10},
+    "mobilenet_v1": {"image_size": 64, "width_scale": 0.25,
+                     "blocks": ((64, 1), (128, 2), (128, 1), (256, 2)), "num_classes": 10},
 }
 
 
