@@ -189,15 +189,31 @@ def run_serve_loadgen(
     verify: int = 0,
     spec: GPUSpec = A100,
     manifest: "str | os.PathLike | None" = None,
+    trace: "str | os.PathLike | None" = None,
+    latency_csv: "str | os.PathLike | None" = None,
+    straggler_device: int | None = None,
+    straggler_delay_s: float = 0.0,
+    slo_objective: float = 0.99,
+    slo_latency_target_s: float | None = None,
     **build_kwargs,
 ):
     """Serve one zoo model under synthetic traffic; returns ``(report, server)``.
 
-    The shared path of the ``repro loadgen`` CLI, the CI serve-smoke job,
-    and ``benchmarks/bench_serve.py``, so a committed smoke threshold and a
-    local run exercise the same code.  ``manifest`` optionally names a file
-    to receive the session's serving :class:`~repro.metrics.RunManifest`.
+    The shared path of the ``repro loadgen`` CLI, the CI serve-smoke and
+    obs-smoke jobs, and ``benchmarks/bench_serve.py``, so a committed smoke
+    threshold and a local run exercise the same code.  ``manifest``
+    optionally names a file to receive the session's serving
+    :class:`~repro.metrics.RunManifest`.
+
+    ``trace`` enables request-scoped distributed tracing (``repro.obs``):
+    the JSONL span log lands at the given path, and a flight recorder dumps
+    ``flightrec-<reason>.json`` next to it on error/reject/timeout/SLO
+    breach.  ``latency_csv`` dumps one row per request.  ``straggler_*``
+    inject wall-clock delay on one device; the ``slo_*`` knobs set the
+    burn-rate objective (see :class:`repro.metrics.slo.SLOConfig`).
     """
+    from pathlib import Path
+
     from repro.models import zoo
     from repro.serve import InferenceServer, ServeConfig, loadgen
 
@@ -207,10 +223,25 @@ def run_serve_loadgen(
         queue_depth=queue_depth, cache_capacity=cache_capacity,
         saturation_policy=saturation_policy, functional=functional,
         strategy=strategy, brick=brick, default_timeout_s=timeout_s,
+        slo_objective=slo_objective,
+        slo_latency_target_s=slo_latency_target_s,
+        straggler_device=straggler_device,
+        straggler_delay_s=straggler_delay_s,
     )
-    server = InferenceServer(graph, spec=spec, config=config)
+    tracer = None
+    if trace is not None:
+        from repro.obs import FlightRecorder, Tracer
+
+        trace_path = Path(trace)
+        tracer = Tracer(log_path=trace_path,
+                        recorder=FlightRecorder(
+                            out_dir=trace_path.parent or Path(".")))
+    server = InferenceServer(graph, spec=spec, config=config, tracer=tracer)
     report = loadgen(server, requests=requests, mode=mode, rate=rate,
-                     concurrency=concurrency, seed=seed, verify=verify)
+                     concurrency=concurrency, seed=seed, verify=verify,
+                     latency_csv=latency_csv)
+    if tracer is not None:
+        tracer.close()
     if manifest is not None:
         server.manifest(scale=scale_preset()).save(manifest)
     return report, server

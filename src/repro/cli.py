@@ -397,6 +397,44 @@ def _serve_build_kwargs(args) -> dict:
     return kwargs
 
 
+def _parse_straggler(value: str | None) -> tuple[int | None, float]:
+    """``DEV:MS`` -> (device index, delay seconds); ``None`` -> no straggler."""
+    if value is None:
+        return None, 0.0
+    dev, sep, ms = value.partition(":")
+    if not sep:
+        raise SystemExit(f"--straggler expects DEV:MS, got {value!r}")
+    return int(dev), float(ms) / 1e3
+
+
+def _obs_kwargs(args) -> dict:
+    """Tracing / SLO / fault-injection kwargs shared by serve and loadgen."""
+    straggler_device, straggler_delay_s = _parse_straggler(args.straggler)
+    return {
+        "trace": args.trace,
+        "straggler_device": straggler_device,
+        "straggler_delay_s": straggler_delay_s,
+        "slo_objective": args.slo_objective,
+        "slo_latency_target_s": (None if args.slo_latency_ms is None
+                                 else args.slo_latency_ms / 1e3),
+    }
+
+
+def _print_obs_summary(args, server) -> None:
+    """After a traced serve run: where the artifacts landed, what fired."""
+    if args.trace:
+        print(f"wrote span log to {args.trace}")
+    slo = server.stats().get("slo", {})
+    for alert in slo.get("alerts", ()):
+        print(f"SLO BURN ALERT: window {alert['short_window_s']:g}s/"
+              f"{alert['long_window_s']:g}s burn "
+              f"{alert['short_burn']:.1f}x/{alert['long_burn']:.1f}x "
+              f"(threshold {alert['threshold']:g}x)")
+    if server.recorder is not None:
+        for reason, path in sorted(server.recorder.paths.items()):
+            print(f"flight-recorder dump ({reason}): {path}")
+
+
 def cmd_serve(args) -> int:
     """Start the async server and run a short closed-loop demo against it."""
     from repro.bench.harness import run_serve_loadgen
@@ -409,7 +447,7 @@ def cmd_serve(args) -> int:
         functional=not args.profile, strategy=_strategy(args),
         brick=args.brick, timeout_s=None if args.timeout_ms is None else args.timeout_ms / 1e3,
         seed=args.seed, manifest=args.manifest,
-        **_serve_build_kwargs(args))
+        **_obs_kwargs(args), **_serve_build_kwargs(args))
     stats = server.stats()
     print(f"served {stats['requests']['completed']} requests on "
           f"{args.devices} simulated device(s): "
@@ -422,6 +460,7 @@ def cmd_serve(args) -> int:
               f"({entry['subgraphs']} subgraphs, "
               f"strategy {entry['strategy'] or 'model-chosen'}, "
               f"{entry['uses']} reuses)")
+    _print_obs_summary(args, server)
     if args.manifest:
         print(f"wrote serving manifest to {args.manifest}")
     return 0
@@ -431,7 +470,7 @@ def cmd_loadgen(args) -> int:
     """Drive the serving layer with open-loop Poisson or closed-loop traffic."""
     from repro.bench.harness import run_serve_loadgen
 
-    report, _ = run_serve_loadgen(
+    report, server = run_serve_loadgen(
         args.model, requests=args.requests, devices=args.devices,
         mode=args.mode, rate=args.rate, concurrency=args.concurrency,
         max_batch=args.max_batch, max_wait_s=args.max_wait_ms / 1e3,
@@ -440,10 +479,76 @@ def cmd_loadgen(args) -> int:
         functional=not args.profile, strategy=_strategy(args),
         brick=args.brick, timeout_s=None if args.timeout_ms is None else args.timeout_ms / 1e3,
         seed=args.seed, verify=args.verify, manifest=args.manifest,
-        **_serve_build_kwargs(args))
+        latency_csv=args.latency_csv,
+        **_obs_kwargs(args), **_serve_build_kwargs(args))
     print(report.render())
+    _print_obs_summary(args, server)
+    if args.latency_csv:
+        print(f"wrote per-request latency rows to {args.latency_csv}")
     if args.manifest:
         print(f"\nwrote serving manifest to {args.manifest}")
+    return 0
+
+
+def cmd_top(args) -> int:
+    """Live serve-fleet dashboard: traffic runs while the terminal refreshes."""
+    from repro.models import zoo
+    from repro.obs import run_top
+    from repro.serve import InferenceServer, ServeConfig
+
+    straggler_device, straggler_delay_s = _parse_straggler(args.straggler)
+    graph = zoo.build(args.model, **_serve_build_kwargs(args))
+    config = ServeConfig(
+        devices=args.devices, max_batch=args.max_batch,
+        max_wait_s=args.max_wait_ms / 1e3, queue_depth=args.queue_depth,
+        cache_capacity=args.cache_capacity,
+        functional=not args.profile, strategy=_strategy(args),
+        brick=args.brick,
+        slo_objective=args.slo_objective,
+        slo_latency_target_s=(None if args.slo_latency_ms is None
+                              else args.slo_latency_ms / 1e3),
+        straggler_device=straggler_device,
+        straggler_delay_s=straggler_delay_s,
+    )
+    server = InferenceServer(graph, config=config)
+    report = run_top(server, refresh_s=args.refresh_ms / 1e3,
+                     requests=args.requests, mode=args.mode, rate=args.rate,
+                     concurrency=args.concurrency, seed=args.seed)
+    print(report.render())
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Inspect a serve span log: span trees, completeness, Perfetto export."""
+    import json
+
+    from repro.obs import (check_completeness, list_traces, load_entries,
+                           merged_chrome_trace, render_span_tree)
+
+    entries = load_entries(args.log)
+    if args.action == "check":
+        report = check_completeness(entries)
+        print(report.summary())
+        return 0 if report.ok else 1
+    if args.action == "export":
+        doc = merged_chrome_trace(entries)
+        with open(args.out, "w") as fh:
+            json.dump(doc, fh)
+        print(f"wrote {len(doc['traceEvents'])} trace events to {args.out}")
+        return 0
+    # show: one trace's span tree, or the trace listing.
+    if args.trace_id:
+        print(render_span_tree(entries, args.trace_id))
+        return 0
+    rows = list_traces(entries)
+    for row in rows[: args.limit]:
+        print(f"{row['trace_id']}  root={row['root'] or '?':<10s} "
+              f"status={row['status']:<16s} spans={row['spans']:<4d} "
+              f"tasks={row['tasks']:<5d} "
+              f"duration={row['duration_ms']:8.2f} ms")
+    if len(rows) > args.limit:
+        print(f"... {len(rows) - args.limit} more "
+              f"(--limit {len(rows)} to see all)")
     return 0
 
 
@@ -610,6 +715,17 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--seed", type=int, default=0)
         sp.add_argument("--manifest", default=None, metavar="OUT.json",
                         help="write the serving-session run manifest")
+        sp.add_argument("--trace", default=None, metavar="SPANS.jsonl",
+                        help="trace every request end-to-end; write the span "
+                             "log here (flight-recorder dumps land beside it)")
+        sp.add_argument("--straggler", default=None, metavar="DEV:MS",
+                        help="inject MS ms of wall delay on device DEV "
+                             "(fault injection for the SLO/flight-recorder path)")
+        sp.add_argument("--slo-objective", type=float, default=0.99,
+                        help="deadline-attainment objective (default 0.99)")
+        sp.add_argument("--slo-latency-ms", type=float, default=None,
+                        help="count a request as SLO-bad unless it completes "
+                             "within this latency (default: deadline only)")
         if name == "loadgen":
             sp.add_argument("--mode", choices=["poisson", "closed"], default="poisson")
             sp.add_argument("--rate", type=float, default=100.0,
@@ -620,7 +736,57 @@ def build_parser() -> argparse.ArgumentParser:
                             default="degrade")
             sp.add_argument("--verify", type=int, default=0, metavar="K",
                             help="re-check K responses bit-identical to single-shot runs")
+            sp.add_argument("--latency-csv", default=None, metavar="OUT.csv",
+                            help="write one row per request: arrival/admitted/"
+                                 "batched/completed, deadline attainment, trace id")
         sp.set_defaults(fn=fn)
+
+    top = sub.add_parser(
+        "top", help="live dashboard: serve synthetic traffic and watch the fleet")
+    top.add_argument("model")
+    top.add_argument("--requests", type=int, default=400)
+    top.add_argument("--devices", type=int, default=2)
+    top.add_argument("--max-batch", type=int, default=8)
+    top.add_argument("--max-wait-ms", type=float, default=20.0)
+    top.add_argument("--queue-depth", type=int, default=64)
+    top.add_argument("--cache-capacity", type=int, default=16)
+    top.add_argument("--strategy", choices=["padded", "memoized", "wavefront"],
+                     default=None)
+    top.add_argument("--brick", type=int, default=None)
+    top.add_argument("--profile", action="store_true",
+                     help="profile mode: access streams/timing only, no outputs")
+    top.add_argument("--full", action="store_true")
+    top.add_argument("--image-size", type=int, default=None)
+    top.add_argument("--seed", type=int, default=0)
+    top.add_argument("--mode", choices=["poisson", "closed"], default="poisson")
+    top.add_argument("--rate", type=float, default=100.0)
+    top.add_argument("--concurrency", type=int, default=8)
+    top.add_argument("--refresh-ms", type=float, default=500.0,
+                     help="dashboard refresh period")
+    top.add_argument("--straggler", default=None, metavar="DEV:MS")
+    top.add_argument("--slo-objective", type=float, default=0.99)
+    top.add_argument("--slo-latency-ms", type=float, default=None)
+    top.set_defaults(fn=cmd_top)
+
+    tr = sub.add_parser(
+        "trace", help="inspect a serve span log (show / check / export)")
+    tsub = tr.add_subparsers(dest="action", required=True)
+    tshow = tsub.add_parser("show", help="list traces, or print one span tree")
+    tshow.add_argument("log", metavar="SPANS.jsonl")
+    tshow.add_argument("--trace-id", default=None,
+                       help="render this trace's span tree")
+    tshow.add_argument("--limit", type=int, default=20,
+                       help="max traces to list (default 20)")
+    tshow.set_defaults(fn=cmd_trace)
+    tcheck = tsub.add_parser(
+        "check", help="verify span-tree completeness; exit 1 on problems")
+    tcheck.add_argument("log", metavar="SPANS.jsonl")
+    tcheck.set_defaults(fn=cmd_trace)
+    texp = tsub.add_parser(
+        "export", help="merge serve + device spans into Perfetto JSON")
+    texp.add_argument("log", metavar="SPANS.jsonl")
+    texp.add_argument("--out", required=True, metavar="OUT.json")
+    texp.set_defaults(fn=cmd_trace)
 
     sub.add_parser("microbench", help="the section 4.3 calibration scalars").set_defaults(fn=cmd_microbench)
     return p

@@ -244,6 +244,10 @@ class Task:
     acquires: list[tuple] = field(default_factory=list)
     releases: list[tuple] = field(default_factory=list)
     batch_spans: list[BatchSpan] = field(default_factory=list)
+    # Distributed-trace provenance ``(trace_id, parent_span_id)``, stamped by
+    # the device when a serve-layer trace context is active (see
+    # ``Device.set_trace_context``); ``None`` on untraced runs.
+    trace: tuple[str, str] | None = None
 
     def acquire(self, token: tuple) -> None:
         """Stamp an acquire edge: this task synchronized with ``token``'s

@@ -90,24 +90,34 @@ class Histogram:
 
     ``counts[i]`` counts observations ``<= buckets[i]``; the final slot is
     the overflow bucket.  ``sum``/``count`` give the mean.
+
+    ``exemplars`` (Prometheus-style) optionally link buckets back to trace
+    ids: ``observe(v, exemplar=trace_id)`` remembers the last exemplar per
+    bucket, so a latency bucket in a dump answers "show me one request
+    that landed here".  Untraced observations leave the dict empty and the
+    serialized form unchanged.
     """
 
-    __slots__ = ("buckets", "counts", "sum", "count")
+    __slots__ = ("buckets", "counts", "sum", "count", "exemplars")
 
     def __init__(self, buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
         self.buckets = tuple(sorted(buckets))
         self.counts = [0] * (len(self.buckets) + 1)
         self.sum = 0.0
         self.count = 0
+        self.exemplars: dict[int, dict] = {}
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: str | None = None) -> None:
         self.sum += value
         self.count += 1
+        index = len(self.buckets)
         for i, edge in enumerate(self.buckets):
             if value <= edge:
-                self.counts[i] += 1
-                return
-        self.counts[-1] += 1
+                index = i
+                break
+        self.counts[index] += 1
+        if exemplar is not None:
+            self.exemplars[index] = {"trace_id": exemplar, "value": value}
 
     @property
     def mean(self) -> float:
@@ -238,12 +248,19 @@ class MetricsRegistry:
         for (name, labels), metric in sorted(self._metrics.items()):
             kind = self._kinds[name]
             if isinstance(metric, Histogram):
-                out.append(Sample(name, kind, labels, metric.sum, histogram={
+                hist_doc = {
                     "buckets": list(metric.buckets),
                     "counts": list(metric.counts),
                     "sum": metric.sum,
                     "count": metric.count,
-                }))
+                }
+                # Only serialized when present, so tracing-off dumps stay
+                # byte-identical to pre-exemplar baselines.
+                if metric.exemplars:
+                    hist_doc["exemplars"] = {
+                        str(i): dict(e) for i, e in sorted(metric.exemplars.items())}
+                out.append(Sample(name, kind, labels, metric.sum,
+                                  histogram=hist_doc))
             else:
                 out.append(Sample(name, kind, labels, metric.value))
         return out
@@ -307,4 +324,6 @@ class MetricsRegistry:
                 hist.counts = list(h.get("counts", hist.counts))
                 hist.sum = float(h.get("sum", 0.0))
                 hist.count = int(h.get("count", 0))
+                hist.exemplars = {int(i): dict(e)
+                                  for i, e in h.get("exemplars", {}).items()}
         return reg

@@ -1,0 +1,81 @@
+"""Trace currency: contexts and spans.
+
+A :class:`TraceContext` is the minimal propagation token -- which trace an
+operation belongs to and which span is its parent -- minted at serve
+admission and threaded through the batcher, the plan cache, the engine,
+and down to every simulated-device task.  A :class:`Span` is one timed,
+attributed operation in that tree.  Both are plain data: the clock, the
+sinks, and the id minting live in :class:`~repro.obs.tracer.Tracer`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["TraceContext", "Span"]
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """What crosses a boundary: trace identity plus the parent span."""
+
+    trace_id: str
+    span_id: str
+    parent_id: str | None = None
+
+
+@dataclass
+class Span:
+    """One timed operation inside a trace.
+
+    ``kind`` is the coarse taxonomy the invariant checks key on:
+    ``request`` (serve-request roots), ``stage`` (queued time),
+    ``batch``/``execute``/``plan`` (the serving pipeline), ``task``
+    (simulated-device kernel invocations).
+    """
+
+    name: str
+    trace_id: str
+    span_id: str
+    parent_id: str | None = None
+    kind: str = "span"
+    start_s: float = 0.0
+    end_s: float | None = None
+    status: str = "ok"
+    attrs: dict = field(default_factory=dict)
+
+    def context(self) -> TraceContext:
+        """This span as a propagation token (children parent onto it)."""
+        return TraceContext(self.trace_id, self.span_id, self.parent_id)
+
+    @property
+    def duration_s(self) -> float:
+        return (self.end_s - self.start_s) if self.end_s is not None else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "type": "span",
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "kind": self.kind,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "status": self.status,
+            "attrs": dict(self.attrs),
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "Span":
+        return cls(
+            name=doc["name"],
+            trace_id=doc["trace_id"],
+            span_id=doc["span_id"],
+            parent_id=doc.get("parent_id"),
+            kind=doc.get("kind", "span"),
+            start_s=doc.get("start_s", 0.0),
+            end_s=doc.get("end_s"),
+            status=doc.get("status", "ok"),
+            attrs=dict(doc.get("attrs", {})),
+        )

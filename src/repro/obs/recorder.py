@@ -1,0 +1,68 @@
+"""Flight recorder: a bounded ring of recent spans/events, dumped on fault.
+
+A loadgen p99 outlier or a shed request is explainable only if the context
+*around* it survives -- which a streaming log does not guarantee once the
+file is large and a dashboard is all anyone watches.  The flight recorder
+keeps the last ``capacity`` trace entries in memory and, on a trigger
+(``error``, ``reject``, ``timeout``, ``slo_breach``), freezes the ring
+into a JSON dump.
+
+Each trigger *reason* fires at most once per recorder lifetime: the first
+reject is the interesting one; the next five hundred would just overwrite
+the evidence with later, less relevant context.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+
+__all__ = ["FlightRecorder", "TRIGGER_REASONS"]
+
+TRIGGER_REASONS = ("error", "reject", "timeout", "slo_breach")
+
+
+class FlightRecorder:
+    """Bounded in-memory trace ring with once-per-reason fault dumps."""
+
+    def __init__(self, capacity: int = 512,
+                 out_dir: "str | Path | None" = None) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.out_dir = Path(out_dir) if out_dir is not None else None
+        self._ring: deque[dict] = deque(maxlen=capacity)
+        self.dumps: dict[str, dict] = {}
+        self.paths: dict[str, Path] = {}
+
+    def note(self, entry: dict) -> None:
+        """Record one span/event entry (the tracer fans these in)."""
+        self._ring.append(entry)
+
+    def trigger(self, reason: str, detail: str = "",
+                trace_id: str | None = None,
+                request_id: int | None = None,
+                time_s: float | None = None) -> dict | None:
+        """Freeze the ring for ``reason``; returns the dump, or ``None`` if
+        this reason already fired (exactly-once per reason)."""
+        if reason in self.dumps:
+            return None
+        dump = {
+            "reason": reason,
+            "detail": detail,
+            "trace_id": trace_id,
+            "request_id": request_id,
+            "time_s": time_s,
+            "entries": list(self._ring),
+        }
+        self.dumps[reason] = dump
+        if self.out_dir is not None:
+            self.out_dir.mkdir(parents=True, exist_ok=True)
+            path = self.out_dir / f"flightrec-{reason}.json"
+            path.write_text(json.dumps(dump, indent=1))
+            self.paths[reason] = path
+        return dump
+
+    def __len__(self) -> int:
+        return len(self._ring)

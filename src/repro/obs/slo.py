@@ -1,0 +1,88 @@
+"""SLO monitor: wires burn-rate math to the registry, tracer, and recorder.
+
+The derivation lives in :mod:`repro.metrics.slo`; this module is the serve
+integration.  :class:`SLOMonitor` is always on (recording one event per
+request is two appends), while the tracer/recorder side effects only exist
+when those sinks are attached -- a tracing-off server records burn rates
+into the registry and nothing else.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.metrics.slo import BurnAlert, BurnRateMonitor, SLOConfig
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.metrics.registry import MetricsRegistry
+    from repro.obs.recorder import FlightRecorder
+    from repro.obs.tracer import Tracer
+
+__all__ = ["SLOMonitor"]
+
+
+class SLOMonitor:
+    """Per-request SLO accounting with multi-window burn-rate alerting."""
+
+    def __init__(
+        self,
+        config: SLOConfig | None = None,
+        registry: "MetricsRegistry | None" = None,
+        tracer: "Tracer | None" = None,
+        recorder: "FlightRecorder | None" = None,
+    ) -> None:
+        self.config = config if config is not None else SLOConfig()
+        self.monitor = BurnRateMonitor(self.config)
+        self.registry = registry
+        self.tracer = tracer
+        self.recorder = recorder
+        self.alerts: list[BurnAlert] = []
+
+    def observe(self, now_s: float, good: bool,
+                trace_id: str | None = None,
+                latency_s: float | None = None) -> list[BurnAlert]:
+        """Record one request outcome; returns any newly fired alerts.
+
+        ``good`` is deadline attainment; with a configured latency target
+        the request must also have completed inside it.
+        """
+        target = self.config.latency_target_s
+        if good and target is not None and latency_s is not None:
+            good = latency_s <= target
+        self.monitor.record(now_s, good)
+        alerts = self.monitor.check(now_s)
+        if self.registry is not None:
+            for short_s, long_s in self.config.windows:
+                self.registry.gauge(
+                    "slo_burn_rate", window=f"{short_s:g}s",
+                ).set(self.monitor.burn(short_s, now_s))
+                self.registry.gauge(
+                    "slo_burn_rate", window=f"{long_s:g}s",
+                ).set(self.monitor.burn(long_s, now_s))
+        for alert in alerts:
+            self.alerts.append(alert)
+            if self.registry is not None:
+                self.registry.counter("slo_burn_alerts").inc()
+            if self.tracer is not None:
+                attrs = alert.as_dict()
+                self.tracer.event("slo_breach", time_s=attrs.pop("time_s"),
+                                  **attrs)
+            if self.recorder is not None:
+                self.recorder.trigger(
+                    "slo_breach",
+                    detail=(f"burn {alert.short_burn:.1f}x/"
+                            f"{alert.long_burn:.1f}x over threshold "
+                            f"{alert.threshold:g} "
+                            f"({alert.short_window_s:g}s/{alert.long_window_s:g}s)"),
+                    trace_id=trace_id, time_s=alert.time_s)
+        return alerts
+
+    def stats(self, now_s: float | None = None) -> dict:
+        """The ``metrics.serve.slo`` block of the serving manifest."""
+        if now_s is None:
+            # Latest event time: stats after the loop closed must not need a
+            # live clock on the same basis.
+            now_s = self.monitor._events[-1][0] if self.monitor._events else 0.0
+        doc = self.monitor.stats(now_s)
+        doc["alerts"] = [a.as_dict() for a in self.alerts]
+        return doc

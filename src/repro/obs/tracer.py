@@ -1,0 +1,207 @@
+"""The tracer: span lifecycle, deterministic ids, and sinks.
+
+One :class:`Tracer` serves one serving session.  It mints deterministic
+ids (``itertools.count``, no randomness -- two identical runs produce
+identical trace files), timestamps with ``time.monotonic()`` (the same
+basis as the asyncio event loop's ``loop.time()``, so serve code can pass
+loop timestamps straight in), and fans every finished span and event out
+to three sinks:
+
+* an in-memory entry list (what :func:`repro.obs.export.check_completeness`
+  and the tests consume),
+* an optional JSONL file (``--trace PATH``; one JSON object per line),
+* an optional :class:`~repro.obs.recorder.FlightRecorder` ring.
+
+Entries are recorded on span *end* (finished spans only), so the log is
+completion-ordered; parents therefore usually appear after their children,
+and readers must not assume pre-order.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+from repro.obs.context import Span, TraceContext
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.obs.recorder import FlightRecorder
+    from repro.profiling.collector import TaskRecord
+
+__all__ = ["Tracer"]
+
+
+def _clean(value):
+    """JSON-safe attribute values (tuples and numpy scalars appear often)."""
+    if isinstance(value, (list, tuple)):
+        return [_clean(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _clean(v) for k, v in value.items()}
+    if hasattr(value, "item"):  # numpy scalar
+        return value.item()
+    return value
+
+
+class Tracer:
+    """Mint, finish, and persist spans for one serving session."""
+
+    def __init__(
+        self,
+        log_path: "str | Path | None" = None,
+        recorder: "FlightRecorder | None" = None,
+        clock=time.monotonic,
+    ) -> None:
+        self.clock = clock
+        self.recorder = recorder
+        self.log_path = Path(log_path) if log_path is not None else None
+        self.entries: list[dict] = []
+        self._trace_ids = itertools.count(1)
+        self._span_ids = itertools.count(1)
+        self._lock = threading.Lock()
+        self._flushed = 0
+        if self.log_path is not None:
+            self.log_path.parent.mkdir(parents=True, exist_ok=True)
+            self.log_path.write_text("")  # truncate: one session per file
+
+    # -- span lifecycle ------------------------------------------------------
+    def start_span(
+        self,
+        name: str,
+        parent: "Span | TraceContext | None" = None,
+        kind: str = "span",
+        start_s: float | None = None,
+        **attrs,
+    ) -> Span:
+        """Open a span.  With no ``parent`` a fresh trace is minted (serve
+        admission does this once per request); with one, the span joins the
+        parent's trace."""
+        if parent is None:
+            trace_id = f"t{next(self._trace_ids):08d}"
+            parent_id = None
+        else:
+            trace_id = parent.trace_id
+            parent_id = parent.span_id
+        return Span(
+            name=name,
+            trace_id=trace_id,
+            span_id=f"s{next(self._span_ids):08d}",
+            parent_id=parent_id,
+            kind=kind,
+            start_s=start_s if start_s is not None else self.clock(),
+            attrs={k: _clean(v) for k, v in attrs.items() if v is not None},
+        )
+
+    def end_span(self, span: Span, end_s: float | None = None,
+                 status: str = "ok", **attrs) -> Span:
+        """Finish a span and record it to every sink."""
+        span.end_s = end_s if end_s is not None else self.clock()
+        span.status = status
+        for k, v in attrs.items():
+            if v is not None:
+                span.attrs[k] = _clean(v)
+        self._record(span.as_dict())
+        return span
+
+    def record_span(
+        self,
+        name: str,
+        parent: "Span | TraceContext | None",
+        start_s: float,
+        end_s: float,
+        kind: str = "span",
+        status: str = "ok",
+        **attrs,
+    ) -> Span:
+        """Record a retroactive span whose window is already known (e.g. the
+        ``queued`` stage, reconstructed at resolve time)."""
+        span = self.start_span(name, parent=parent, kind=kind,
+                               start_s=start_s, **attrs)
+        return self.end_span(span, end_s=end_s, status=status)
+
+    @contextmanager
+    def span(self, name: str, parent: "Span | TraceContext | None" = None,
+             kind: str = "span", **attrs) -> Iterator[Span]:
+        s = self.start_span(name, parent=parent, kind=kind, **attrs)
+        try:
+            yield s
+        except BaseException:
+            self.end_span(s, status="error")
+            raise
+        else:
+            self.end_span(s)
+
+    def event(self, name: str, ctx: "Span | TraceContext | None" = None,
+              time_s: float | None = None, **attrs) -> dict:
+        """Record a point-in-time event, optionally bound to a trace."""
+        entry = {
+            "type": "event",
+            "name": name,
+            "trace_id": ctx.trace_id if ctx is not None else None,
+            "span_id": ctx.span_id if ctx is not None else None,
+            "time_s": time_s if time_s is not None else self.clock(),
+            "attrs": {k: _clean(v) for k, v in attrs.items() if v is not None},
+        }
+        self._record(entry)
+        return entry
+
+    # -- device-task fan-in --------------------------------------------------
+    def emit_task_spans(self, records: "Iterable[TaskRecord]", parent: Span,
+                        max_spans: int = 2048, **attrs) -> int:
+        """Turn an engine run's task records into child spans of ``parent``.
+
+        Task records carry *simulated* device times; each is scaled into the
+        parent execute span's wall-clock window so the merged Perfetto view
+        lines serve spans and device lanes up on one axis (the unscaled sim
+        times ride along as ``sim_start_s``/``sim_end_s`` attrs).  Records
+        beyond ``max_spans`` are summarized in one overflow event rather
+        than silently dropped.
+        """
+        records = list(records)
+        if parent.end_s is None:
+            raise ValueError("emit_task_spans needs a finished parent span")
+        sim_span = max((r.end_s for r in records), default=0.0)
+        scale = (parent.end_s - parent.start_s) / sim_span if sim_span > 0 else 0.0
+        emitted = 0
+        for r in records:
+            if emitted >= max_spans:
+                self.event("task_spans_truncated", ctx=parent,
+                           dropped=len(records) - emitted, limit=max_spans)
+                break
+            span = self.start_span(
+                r.label, parent=parent, kind="task",
+                start_s=parent.start_s + r.start_s * scale,
+                seq=r.seq, node_id=r.node_id, subgraph=r.subgraph_index,
+                strategy=r.strategy, worker=r.worker,
+                sim_start_s=r.start_s, sim_end_s=r.end_s,
+                dram_txns=r.dram_txns, flops=r.flops,
+                brick=r.brick, batch_index=r.batch_index, **attrs)
+            self.end_span(span, end_s=parent.start_s + r.end_s * scale)
+            emitted += 1
+        return emitted
+
+    # -- sinks ---------------------------------------------------------------
+    def _record(self, entry: dict) -> None:
+        with self._lock:
+            self.entries.append(entry)
+        if self.recorder is not None:
+            self.recorder.note(entry)
+
+    def flush(self) -> None:
+        """Append entries recorded since the last flush to the JSONL file."""
+        if self.log_path is None:
+            return
+        with self._lock:
+            pending = self.entries[self._flushed:]
+            self._flushed = len(self.entries)
+        if pending:
+            with self.log_path.open("a") as fh:
+                for entry in pending:
+                    fh.write(json.dumps(entry) + "\n")
+
+    def close(self) -> None:
+        self.flush()

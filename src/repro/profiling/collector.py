@@ -56,6 +56,9 @@ class TaskRecord:
     bytes_written: int
     brick: tuple[int, ...] | None = None
     batch_index: int | None = None
+    # Serve-layer trace provenance ``(trace_id, parent_span_id)``, carried
+    # through from the task stamp; ``None`` on untraced runs.
+    trace: tuple[str, str] | None = None
 
     @property
     def duration_s(self) -> float:
@@ -171,6 +174,7 @@ class TraceCollector(DeviceObserver):
             bytes_written=task.bytes_written,
             brick=task.brick,
             batch_index=task.batch_index,
+            trace=task.trace,
         ))
 
     def on_sync(self, device: "Device", time_s: float) -> None:

@@ -76,6 +76,11 @@ class DynamicBatcher:
             except asyncio.TimeoutError:
                 break
             batch.append(req)
+        # Stage boundary for the per-request breakdown: queued ends (and
+        # batching/service begins) the moment the batch is formed.
+        formed_at = loop.time()
+        for req in batch:
+            req.batched_s = formed_at
         self.batches_formed += 1
         return batch
 

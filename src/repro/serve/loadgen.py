@@ -17,7 +17,9 @@ differential check ``verify`` samples.
 from __future__ import annotations
 
 import asyncio
+import csv
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -68,6 +70,15 @@ class LoadgenReport:
             ["plan-cache hit ratio (lookups)", f"{self.cache_lookup_ratio:.1%}"],
             ["plan-cache entries", self.cache_entries],
         ]
+        slo = self.stats.get("slo")
+        if slo:
+            rows.append(["SLO attainment",
+                         f"{slo['attainment']:.2%} "
+                         f"(objective {slo['objective']:.2%})"])
+            for pair, burn in slo.get("burn_rates", {}).items():
+                rows.append([f"burn rate ({pair})",
+                             f"{burn['short']:.2f} / {burn['long']:.2f}"])
+            rows.append(["burn alerts fired", slo.get("alerts_fired", 0)])
         return format_table(
             ["metric", "value"], rows,
             title=f"loadgen: {self.model} ({self.mode})")
@@ -88,17 +99,23 @@ async def run_loadgen(
     seed: int = 0,
     timeout_s: float | None = None,
     verify: int = 0,
+    latency_csv: "str | Path | None" = None,
 ) -> LoadgenReport:
     """Drive ``server`` (already started) with synthetic traffic.
 
     ``verify`` re-runs that many evenly spaced requests single-shot through
     a fresh engine and asserts the served outputs are bit-identical.
+    ``latency_csv`` optionally names a file to receive one row per request
+    (arrival/admitted/batched/completed timestamps, deadline attainment,
+    trace id) -- the raw data behind the aggregate percentiles.
     """
     if mode not in ("poisson", "closed"):
         raise ValueError(f"mode must be 'poisson' or 'closed', got {mode!r}")
     functional = server.config.functional
     graph = server.graph
     responses: dict[int, InferenceResponse] = {}
+    arrivals: dict[int, float] = {}
+    rejections: dict[int, QueueSaturatedError] = {}
     rejected = 0
     loop = asyncio.get_running_loop()
     t0 = loop.time()
@@ -106,10 +123,12 @@ async def run_loadgen(
     async def one(index: int) -> None:
         nonlocal rejected
         x = _request_input(graph, index, seed) if functional else None
+        arrivals[index] = loop.time()
         try:
             responses[index] = await server.submit(x, timeout_s=timeout_s)
-        except QueueSaturatedError:
+        except QueueSaturatedError as err:
             rejected += 1
+            rejections[index] = err
 
     if mode == "poisson":
         if rate <= 0:
@@ -140,6 +159,9 @@ async def run_loadgen(
         verified = _verify_sample(graph, server, responses, seed,
                                   min(verify, len(responses)))
 
+    if latency_csv is not None:
+        _write_latency_csv(latency_csv, t0, arrivals, responses, rejections)
+
     stats = server.stats()
     return LoadgenReport(
         model=graph.name,
@@ -160,6 +182,46 @@ async def run_loadgen(
         cache_entries=stats["plan_cache"]["size"],
         stats=stats,
     )
+
+
+LATENCY_CSV_COLUMNS = [
+    "index", "request_id", "arrival_s", "admitted_s", "batched_s",
+    "completed_s", "latency_s", "deadline_met", "degraded", "timed_out",
+    "rejected", "trace_id",
+]
+
+
+def _write_latency_csv(path: "str | Path", t0: float,
+                       arrivals: dict[int, float],
+                       responses: dict[int, "InferenceResponse"],
+                       rejections: dict[int, QueueSaturatedError]) -> None:
+    """One row per request, timestamps relative to loadgen start."""
+    def rel(t: float | None) -> str:
+        return "" if t is None else f"{t - t0:.6f}"
+
+    path = Path(path)
+    if path.parent != Path(""):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(LATENCY_CSV_COLUMNS)
+        for index in sorted(arrivals):
+            arrival = arrivals[index]
+            r = responses.get(index)
+            if r is not None:
+                writer.writerow([
+                    index, r.request_id, rel(arrival), rel(r.admitted_s),
+                    rel(r.batched_s), rel(r.completed_s),
+                    f"{r.latency_s:.6f}", r.deadline_met, r.degraded,
+                    r.timed_out, False, r.trace_id or "",
+                ])
+            elif index in rejections:
+                err = rejections[index]
+                writer.writerow([
+                    index, err.request_id if err.request_id is not None else "",
+                    rel(arrival), "", "", "", "", False, False, False, True,
+                    err.trace_id or "",
+                ])
 
 
 def _verify_sample(graph, server: InferenceServer, responses, seed: int,

@@ -18,6 +18,7 @@ from __future__ import annotations
 import hashlib
 import json
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
@@ -67,6 +68,9 @@ class CompiledEntry:
     # bricks (what executions of this entry should run against).
     device_spec: "GPUSpec" = None
     uses: int = 0
+    # Wall-clock seconds the compile took (0.0 until measured); surfaced in
+    # manifests and the per-stage breakdown, never diffed (wall time).
+    compile_s: float = 0.0
 
     def describe(self) -> dict:
         return {
@@ -78,6 +82,7 @@ class CompiledEntry:
             "plan_digest": self.plan_digest,
             "subgraphs": len(self.plan.subgraphs),
             "uses": self.uses,
+            "compile_s": round(self.compile_s, 4),
         }
 
 
@@ -152,7 +157,11 @@ class PlanCache:
             entry = self.get(key)
             if entry is not None:
                 return entry, True
+            t0 = time.perf_counter()
             entry = compile_fn(key)
+            entry.compile_s = time.perf_counter() - t0
+            if self.registry is not None:
+                self.registry.counter("serve_plan_compile_s").inc(entry.compile_s)
             self.put(entry)
             return entry, False
 

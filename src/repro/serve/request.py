@@ -22,7 +22,18 @@ __all__ = ["InferenceRequest", "InferenceResponse", "QueueSaturatedError",
 
 class QueueSaturatedError(RuntimeError):
     """Admission rejected: the queue is full and the saturation policy is
-    ``reject`` (the client is expected to back off and retry)."""
+    ``reject`` (the client is expected to back off and retry).
+
+    Carries the offending request's stable identity so clients, log lines,
+    and flight-recorder dumps can name it instead of shedding anonymously.
+    """
+
+    def __init__(self, message: str = "admission queue full",
+                 request_id: int | None = None,
+                 trace_id: str | None = None) -> None:
+        super().__init__(message)
+        self.request_id = request_id
+        self.trace_id = trace_id
 
 
 class ServerClosedError(RuntimeError):
@@ -42,6 +53,12 @@ class InferenceRequest:
     deadline_s: float | None
     enqueued_s: float
     future: "asyncio.Future[InferenceResponse]" = field(repr=False, default=None)
+    # Root span of this request's trace (``repro.obs``); ``None`` on an
+    # untraced server.
+    trace: object | None = field(repr=False, default=None)
+    # When the dynamic batcher pulled this request into a batch (event-loop
+    # clock); ``None`` until batched (or never, on the saturation path).
+    batched_s: float | None = None
 
     def expired(self, now_s: float) -> bool:
         return self.deadline_s is not None and now_s > self.deadline_s
@@ -65,3 +82,9 @@ class InferenceResponse:
     device: int              # simulated device index that ran the batch
     latency_s: float         # wall latency: admission -> completion
     sim_time_s: float        # simulated device time of the whole batch
+    # Observability (all optional so hand-built responses stay valid):
+    trace_id: str | None = None      # this request's trace, when traced
+    deadline_met: bool = True        # completed within the deadline (if any)
+    admitted_s: float = 0.0          # event-loop time of admission
+    batched_s: float | None = None   # when the batcher picked it up
+    completed_s: float = 0.0         # event-loop time of resolution

@@ -48,6 +48,8 @@ from repro.metrics import (
     RunManifest,
     manifest_from_serve,
 )
+from repro.metrics.slo import SLOConfig
+from repro.obs.slo import SLOMonitor
 from repro.serve.batcher import DynamicBatcher, batch_bucket
 from repro.serve.plancache import CompiledEntry, PlanCache, PlanKey
 from repro.serve.request import (
@@ -74,6 +76,15 @@ class ServeConfig:
     strategy: Strategy | None = None     # engine strategy override
     brick: int | None = None             # engine brick override
     default_timeout_s: float | None = None  # per-request deadline default
+    # SLO: deadline-attainment objective for burn-rate alerting, plus an
+    # optional hard latency target (a request is "good" only if it also
+    # completed inside it -- the deterministic CI straggler objective).
+    slo_objective: float = 0.99
+    slo_latency_target_s: float | None = None
+    # Fault injection: add this much wall-clock delay to every batch served
+    # by one device (straggler emulation; never touches simulated metrics).
+    straggler_device: int | None = None
+    straggler_delay_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.devices < 1:
@@ -84,6 +95,9 @@ class ServeConfig:
             raise ValueError(
                 f"saturation_policy must be 'degrade' or 'reject', "
                 f"got {self.saturation_policy!r}")
+        if self.straggler_delay_s < 0:
+            raise ValueError(
+                f"straggler_delay_s must be >= 0, got {self.straggler_delay_s}")
 
 
 class InferenceServer:
@@ -95,6 +109,8 @@ class InferenceServer:
         spec: GPUSpec = A100,
         config: ServeConfig = ServeConfig(),
         registry: MetricsRegistry | None = None,
+        tracer=None,
+        slo: SLOConfig | None = None,
     ) -> None:
         graph.validate()
         if any(n.spec.batch != 1 for n in graph.input_nodes):
@@ -107,6 +123,16 @@ class InferenceServer:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.registry.set_base(model=graph.name)
         self.cache = PlanCache(capacity=config.cache_capacity, registry=self.registry)
+        # Observability: the tracer (and its flight recorder) are optional;
+        # the SLO monitor is always on -- recording one outcome per request
+        # is two appends, and burn rates belong in every manifest.
+        self.tracer = tracer
+        self.recorder = tracer.recorder if tracer is not None else None
+        self.slo = SLOMonitor(
+            slo if slo is not None else SLOConfig(
+                objective=config.slo_objective,
+                latency_target_s=config.slo_latency_target_s),
+            registry=self.registry, tracer=tracer, recorder=self.recorder)
         if config.functional:
             graph.init_weights()
 
@@ -193,12 +219,19 @@ class InferenceServer:
         loop = asyncio.get_running_loop()
         timeout_s = timeout_s if timeout_s is not None else self.config.default_timeout_s
         now = loop.time()
+        request_id = next(self._ids)
+        root = None
+        if self.tracer is not None:
+            root = self.tracer.start_span(
+                "request", kind="request", start_s=now,
+                request_id=request_id, model=self.graph.name)
         req = InferenceRequest(
-            request_id=next(self._ids),
+            request_id=request_id,
             input=None if x is None else np.asarray(x, dtype=np.float32),
             deadline_s=now + timeout_s if timeout_s is not None else None,
             enqueued_s=now,
             future=loop.create_future(),
+            trace=root,
         )
         self._pending.add(req.future)
         req.future.add_done_callback(self._pending.discard)
@@ -206,18 +239,37 @@ class InferenceServer:
             self._queue.put_nowait(req)
         except asyncio.QueueFull:
             if self.config.saturation_policy == "reject":
-                self.rejected += 1
-                self.registry.counter("serve_requests_rejected").inc()
-                req.future.cancel()
-                raise QueueSaturatedError(
-                    f"admission queue full ({self.config.queue_depth}); retry later"
-                ) from None
+                self._reject(req, loop.time())
             # Graceful degradation: shed to the single-shot fallback path.
             self.registry.counter("serve_saturation_fallbacks").inc()
+            if self.tracer is not None:
+                self.tracer.event("saturated", ctx=root,
+                                  request_id=req.request_id, policy="degrade",
+                                  queue_depth=self.config.queue_depth)
             await self._serve_fallback(req, timed_out=False)
             return await req.future
         self._observe_queue_depth()
         return await req.future
+
+    def _reject(self, req: InferenceRequest, now_s: float) -> None:
+        """Shed one request by name: counters, SLO debit, flight dump, raise."""
+        self.rejected += 1
+        self.registry.counter("serve_requests_rejected").inc()
+        trace_id = req.trace.trace_id if req.trace is not None else None
+        self.slo.observe(now_s, good=False, trace_id=trace_id)
+        message = (f"request {req.request_id}: admission queue full "
+                   f"({self.config.queue_depth}); retry later")
+        if self.recorder is not None:
+            self.recorder.trigger("reject", detail=message, trace_id=trace_id,
+                                  request_id=req.request_id, time_s=now_s)
+        if self.tracer is not None:
+            self.tracer.event("reject", ctx=req.trace,
+                              request_id=req.request_id,
+                              queue_depth=self.config.queue_depth)
+            self.tracer.end_span(req.trace, end_s=now_s, status="rejected")
+        req.future.cancel()
+        raise QueueSaturatedError(message, request_id=req.request_id,
+                                  trace_id=trace_id) from None
 
     def _observe_queue_depth(self) -> None:
         depth = self._queue.qsize() if self._queue is not None else 0
@@ -252,6 +304,18 @@ class InferenceServer:
             for req in expired:
                 self.timed_out += 1
                 self.registry.counter("serve_requests_timed_out").inc()
+                if self.tracer is not None:
+                    self.tracer.event(
+                        "timeout", ctx=req.trace, request_id=req.request_id,
+                        queued_s=round(now - req.enqueued_s, 6), device=index)
+                if self.recorder is not None:
+                    self.recorder.trigger(
+                        "timeout",
+                        detail=(f"request {req.request_id}: deadline lapsed "
+                                f"after {now - req.enqueued_s:.4f}s queued"),
+                        trace_id=(req.trace.trace_id if req.trace is not None
+                                  else None),
+                        request_id=req.request_id, time_s=now)
                 await self._serve_fallback(req, timed_out=True, device=index)
             if live:
                 await self._serve_batch(live, index)
@@ -259,14 +323,34 @@ class InferenceServer:
     # -- execution ----------------------------------------------------------
     async def _serve_batch(self, batch: list[InferenceRequest], device: int) -> None:
         loop = asyncio.get_running_loop()
+        # The batch span parents onto the *head* request's trace (Clipper
+        # batching anchors the wait window there too); the other members'
+        # ids ride along as attributes, and each member's own request span
+        # still closes with its response, so every trace stays rooted.
+        batch_span = None
+        if self.tracer is not None and batch[0].trace is not None:
+            batch_span = self.tracer.start_span(
+                "batch", parent=batch[0].trace, kind="batch",
+                device=device, size=len(batch),
+                request_ids=[r.request_id for r in batch],
+                member_traces=[r.trace.trace_id for r in batch
+                               if r.trace is not None])
         try:
             outputs, bucket, hit, sim_s = await asyncio.to_thread(
-                self._execute, batch, batch_bucket(len(batch), self.config.max_batch))
+                self._execute, batch, batch_bucket(len(batch), self.config.max_batch),
+                None, batch_span, device)
         except Exception as exc:  # resolve, never wedge the worker
+            self._trace_failure(exc, batch, batch_span, device)
             for req in batch:
                 if not req.future.done():
                     req.future.set_exception(exc)
             return
+        if (self.config.straggler_delay_s > 0
+                and device == self.config.straggler_device):
+            await asyncio.sleep(self.config.straggler_delay_s)
+        if batch_span is not None:
+            self.tracer.end_span(batch_span, bucket=bucket, cache_hit=hit,
+                                 sim_time_s=round(sim_s, 6))
         self.batches += 1
         self.registry.counter("serve_batches").inc()
         self.registry.counter("serve_device_batches", device=device).inc()
@@ -290,23 +374,38 @@ class InferenceServer:
                 device=device,
                 latency_s=now - req.enqueued_s,
                 sim_time_s=sim_s,
+                trace_id=req.trace.trace_id if req.trace is not None else None,
+                deadline_met=req.deadline_s is None or now <= req.deadline_s,
+                admitted_s=req.enqueued_s,
+                batched_s=req.batched_s,
+                completed_s=now,
             ))
 
     async def _serve_fallback(self, req: InferenceRequest, timed_out: bool,
                               device: int = -1) -> None:
         loop = asyncio.get_running_loop()
+        fb_span = None
+        if self.tracer is not None and req.trace is not None:
+            fb_span = self.tracer.start_span(
+                "fallback", parent=req.trace, kind="batch", device=device,
+                request_id=req.request_id, timed_out=timed_out)
         try:
             outputs, bucket, hit, sim_s = await asyncio.to_thread(
-                self._execute, [req], 1, Strategy.CUDNN)
+                self._execute, [req], 1, Strategy.CUDNN, fb_span, device)
         except Exception as exc:
+            self._trace_failure(exc, [req], fb_span, device)
             if not req.future.done():
                 req.future.set_exception(exc)
             return
+        if fb_span is not None:
+            self.tracer.end_span(fb_span, cache_hit=hit,
+                                 sim_time_s=round(sim_s, 6))
         self.degraded += 1
         self.registry.counter("serve_requests_degraded").inc()
         if hit:
             self.cached_plan_requests += 1
             self.registry.counter("serve_requests_on_cached_plan").inc()
+        now = loop.time()
         self._resolve(req, InferenceResponse(
             request_id=req.request_id,
             output=None if outputs is None else _primary(outputs, 0),
@@ -317,28 +416,103 @@ class InferenceServer:
             degraded=True,
             timed_out=timed_out,
             device=device,
-            latency_s=loop.time() - req.enqueued_s,
+            latency_s=now - req.enqueued_s,
             sim_time_s=sim_s,
+            trace_id=req.trace.trace_id if req.trace is not None else None,
+            deadline_met=req.deadline_s is None or now <= req.deadline_s,
+            admitted_s=req.enqueued_s,
+            batched_s=req.batched_s,
+            completed_s=now,
         ))
+
+    def _trace_failure(self, exc: Exception, batch: list[InferenceRequest],
+                       span, device: int) -> None:
+        """Record an execution failure: error spans, event, flight dump."""
+        if self.tracer is None:
+            for req in batch:
+                trace_id = req.trace.trace_id if req.trace is not None else None
+                self.slo.observe(self._loop_time(), good=False, trace_id=trace_id)
+            return
+        now = self.tracer.clock()
+        head = batch[0]
+        self.tracer.event("error", ctx=span if span is not None else head.trace,
+                          error=repr(exc), device=device,
+                          request_ids=[r.request_id for r in batch])
+        if span is not None:
+            self.tracer.end_span(span, end_s=now, status="error")
+        for req in batch:
+            trace_id = None
+            if req.trace is not None:
+                trace_id = req.trace.trace_id
+                self.tracer.end_span(req.trace, end_s=now, status="error",
+                                     error=repr(exc))
+            self.slo.observe(now, good=False, trace_id=trace_id)
+        if self.recorder is not None:
+            self.recorder.trigger(
+                "error",
+                detail=(f"batch on device {device} failed serving request(s) "
+                        f"{[r.request_id for r in batch]}: {exc!r}"),
+                trace_id=(head.trace.trace_id if head.trace is not None
+                          else None),
+                request_id=head.request_id, time_s=now)
+
+    def _loop_time(self) -> float:
+        try:
+            return asyncio.get_running_loop().time()
+        except RuntimeError:
+            import time as _time
+            return _time.monotonic()
 
     def _resolve(self, req: InferenceRequest, response: InferenceResponse) -> None:
         self.completed += 1
         self.registry.counter("serve_requests_completed").inc()
         path = "fallback" if response.degraded else "merged"
-        self.registry.histogram("serve_latency_s", buckets=LATENCY_BUCKETS_S,
-                                path=path).observe(response.latency_s)
+        self.registry.histogram(
+            "serve_latency_s", buckets=LATENCY_BUCKETS_S, path=path,
+        ).observe(response.latency_s, exemplar=response.trace_id)
+        if response.batched_s is not None:
+            self.registry.histogram(
+                "serve_stage_s", buckets=LATENCY_BUCKETS_S, stage="queued",
+            ).observe(response.batched_s - req.enqueued_s)
+            self.registry.histogram(
+                "serve_stage_s", buckets=LATENCY_BUCKETS_S, stage="service",
+            ).observe(response.completed_s - response.batched_s)
+        self.slo.observe(response.completed_s, good=response.deadline_met,
+                         trace_id=response.trace_id,
+                         latency_s=response.latency_s)
+        if self.tracer is not None and req.trace is not None:
+            if response.batched_s is not None:
+                self.tracer.record_span(
+                    "queued", parent=req.trace, kind="stage",
+                    start_s=req.enqueued_s, end_s=response.batched_s)
+            self.tracer.end_span(
+                req.trace, end_s=response.completed_s,
+                status="ok" if response.deadline_met else "deadline_missed",
+                degraded=response.degraded or None,
+                timed_out=response.timed_out or None,
+                latency_s=round(response.latency_s, 6),
+                batch_size=response.batch_size, device=response.device)
         if not req.future.done():
             req.future.set_result(response)
 
     # Runs in a worker thread (asyncio.to_thread): everything here is
     # CPU-bound simulation; the event loop keeps admitting meanwhile.
     def _execute(self, batch: list[InferenceRequest], bucket: int,
-                 strategy: Strategy | None = None):
+                 strategy: Strategy | None = None, parent_span=None,
+                 device_index: int | None = None):
         strategy = strategy if strategy is not None else self.config.strategy
         key = PlanKey(model=self.graph.name, batch_bucket=bucket,
                       spec=self.spec, strategy=strategy,
                       brick=self.config.brick)
+        tracer = self.tracer if parent_span is not None else None
+        plan_t0 = tracer.clock() if tracer is not None else 0.0
         entry, hit = self.cache.get_or_compile(key, self._compile)
+        if tracer is not None:
+            tracer.record_span(
+                "plan", parent=parent_span, kind="plan",
+                start_s=plan_t0, end_s=tracer.clock(),
+                cache_hit=hit, bucket=bucket, plan_digest=entry.plan_digest,
+                compile_s=round(entry.compile_s, 4))
         inputs = None
         if self.config.functional:
             spec = self.graph.input_nodes[0].spec
@@ -347,9 +521,24 @@ class InferenceServer:
                 stacked[i:i + 1] = req.input
             inputs = stacked
         device = Device(entry.device_spec)
-        result = entry.engine.run(inputs=inputs,
-                                  functional=self.config.functional,
-                                  device=device, plan=entry.plan)
+        exec_span = None
+        if tracer is not None:
+            exec_span = tracer.start_span(
+                "execute", parent=parent_span, kind="execute",
+                device=device_index, bucket=bucket,
+                plan_digest=entry.plan_digest,
+                strategy=strategy.value if strategy is not None else None)
+        result = entry.engine.run(
+            inputs=inputs, functional=self.config.functional,
+            device=device, plan=entry.plan,
+            trace_ctx=exec_span.context() if exec_span is not None else None)
+        if exec_span is not None:
+            tracer.end_span(exec_span,
+                            sim_time_s=round(result.metrics.total_time, 6),
+                            num_tasks=result.metrics.num_tasks)
+            if result.trace is not None:
+                tracer.emit_task_spans(result.trace.records, exec_span,
+                                       device=device_index)
         return result.outputs, bucket, hit, result.metrics.total_time
 
     def _compile(self, key: PlanKey) -> CompiledEntry:
@@ -422,6 +611,22 @@ class InferenceServer:
             "sim_time_s": self.registry.counter("serve_sim_time_s").value,
             "wall_s": wall,
             "throughput_rps": self.completed / wall if wall > 0 else 0.0,
+            "stages": self._stage_stats(),
+            "slo": self.slo.stats(),
+        }
+
+    def _stage_stats(self) -> dict:
+        """Per-stage time breakdown (queued / service / compile)."""
+        queued = self.registry.histogram("serve_stage_s",
+                                         buckets=LATENCY_BUCKETS_S, stage="queued")
+        service = self.registry.histogram("serve_stage_s",
+                                          buckets=LATENCY_BUCKETS_S, stage="service")
+        return {
+            "queued_mean_ms": queued.mean * 1e3,
+            "queued_p99_ms": queued.quantile(0.99) * 1e3,
+            "service_mean_ms": service.mean * 1e3,
+            "service_p99_ms": service.quantile(0.99) * 1e3,
+            "compile_total_s": self.registry.counter("serve_plan_compile_s").value,
         }
 
     def manifest(self, label: str = "serve", scale: str | None = None) -> RunManifest:
