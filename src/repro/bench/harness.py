@@ -195,6 +195,8 @@ def run_serve_loadgen(
     straggler_delay_s: float = 0.0,
     slo_objective: float = 0.99,
     slo_latency_target_s: float | None = None,
+    batching: str = "head",
+    autoscale: "tuple[int, int] | None" = None,
     **build_kwargs,
 ):
     """Serve one zoo model under synthetic traffic; returns ``(report, server)``.
@@ -218,6 +220,13 @@ def run_serve_loadgen(
     from repro.serve import InferenceServer, ServeConfig, loadgen
 
     graph = zoo.build(model, **build_kwargs)
+    autoscaler = None
+    if autoscale is not None:
+        from repro.serve import AutoscalerConfig
+
+        lo, hi = autoscale
+        autoscaler = AutoscalerConfig(min_devices=lo, max_devices=hi)
+        devices = lo
     config = ServeConfig(
         devices=devices, max_batch=max_batch, max_wait_s=max_wait_s,
         queue_depth=queue_depth, cache_capacity=cache_capacity,
@@ -227,6 +236,8 @@ def run_serve_loadgen(
         slo_latency_target_s=slo_latency_target_s,
         straggler_device=straggler_device,
         straggler_delay_s=straggler_delay_s,
+        batching=batching,
+        autoscaler=autoscaler,
     )
     tracer = None
     if trace is not None:

@@ -407,6 +407,16 @@ def _parse_straggler(value: str | None) -> tuple[int | None, float]:
     return int(dev), float(ms) / 1e3
 
 
+def _parse_autoscale(value: str | None) -> "tuple[int, int] | None":
+    """``MIN:MAX`` -> autoscaler device bounds; ``None`` -> fixed fleet."""
+    if value is None:
+        return None
+    lo, sep, hi = value.partition(":")
+    if not sep:
+        raise SystemExit(f"--autoscale expects MIN:MAX, got {value!r}")
+    return int(lo), int(hi)
+
+
 def _obs_kwargs(args) -> dict:
     """Tracing / SLO / fault-injection kwargs shared by serve and loadgen."""
     straggler_device, straggler_delay_s = _parse_straggler(args.straggler)
@@ -417,6 +427,8 @@ def _obs_kwargs(args) -> dict:
         "slo_objective": args.slo_objective,
         "slo_latency_target_s": (None if args.slo_latency_ms is None
                                  else args.slo_latency_ms / 1e3),
+        "batching": args.batching,
+        "autoscale": _parse_autoscale(args.autoscale),
     }
 
 
@@ -515,6 +527,30 @@ def cmd_top(args) -> int:
                      requests=args.requests, mode=args.mode, rate=args.rate,
                      concurrency=args.concurrency, seed=args.seed)
     print(report.render())
+    return 0
+
+
+def cmd_scenario(args) -> int:
+    """Run (or list) the deterministic fleet-serving scenario packs."""
+    from repro.serve.scenarios import SCENARIOS, run_scenario
+
+    if args.action == "list":
+        for name, s in sorted(SCENARIOS.items()):
+            print(f"{name:12s} {s.description}")
+        return 0
+    report = run_scenario(
+        args.name, seed=args.seed, batching=args.batching,
+        requests=args.requests, verify=args.verify,
+        reduced=not args.full, manifest_path=args.manifest,
+        trace_path=args.trace)
+    print(report.render())
+    if args.manifest:
+        print(f"wrote scenario manifest to {args.manifest}")
+    if args.check:
+        violations = report.check()
+        for v in violations:
+            print(f"objective violated: {v}", file=sys.stderr)
+        return 1 if violations else 0
     return 0
 
 
@@ -726,6 +762,12 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--slo-latency-ms", type=float, default=None,
                         help="count a request as SLO-bad unless it completes "
                              "within this latency (default: deadline only)")
+        sp.add_argument("--batching", choices=["head", "edf"], default="head",
+                        help="batch formation order: head-anchored arrival "
+                             "order, or earliest-deadline-first")
+        sp.add_argument("--autoscale", default=None, metavar="MIN:MAX",
+                        help="autoscale the device fleet between MIN and MAX "
+                             "from queue-depth/burn signals")
         if name == "loadgen":
             sp.add_argument("--mode", choices=["poisson", "closed"], default="poisson")
             sp.add_argument("--rate", type=float, default=100.0,
@@ -767,6 +809,33 @@ def build_parser() -> argparse.ArgumentParser:
     top.add_argument("--slo-objective", type=float, default=0.99)
     top.add_argument("--slo-latency-ms", type=float, default=None)
     top.set_defaults(fn=cmd_top)
+
+    sc = sub.add_parser(
+        "scenario",
+        help="deterministic fleet-serving scenarios (diurnal / burst / "
+             "heavy-tail / straggler / multitenant)")
+    ssub = sc.add_subparsers(dest="action", required=True)
+    slist = ssub.add_parser("list", help="list the scenario pack")
+    slist.set_defaults(fn=cmd_scenario)
+    srun = ssub.add_parser(
+        "run", help="replay one scenario in virtual time; print its report")
+    srun.add_argument("name")
+    srun.add_argument("--seed", type=int, default=0)
+    srun.add_argument("--batching", choices=["head", "edf"], default=None,
+                      help="override the interactive class's batching mode")
+    srun.add_argument("--requests", type=int, default=None,
+                      help="override the scenario's request count")
+    srun.add_argument("--verify", type=int, default=0, metavar="K",
+                      help="re-check K responses bit-identical to "
+                           "single-shot runs (forces functional mode)")
+    srun.add_argument("--check", action="store_true",
+                      help="evaluate the scenario's objectives; exit 1 on "
+                           "any violation (the CI conformance gate)")
+    srun.add_argument("--full", action="store_true",
+                      help="serve paper-scale models (default: reduced)")
+    srun.add_argument("--manifest", default=None, metavar="OUT.json")
+    srun.add_argument("--trace", default=None, metavar="SPANS.jsonl")
+    srun.set_defaults(fn=cmd_scenario)
 
     tr = sub.add_parser(
         "trace", help="inspect a serve span log (show / check / export)")

@@ -98,7 +98,8 @@ class Histogram:
     serialized form unchanged.
     """
 
-    __slots__ = ("buckets", "counts", "sum", "count", "exemplars")
+    __slots__ = ("buckets", "counts", "sum", "count", "exemplars",
+                 "minimum", "maximum")
 
     def __init__(self, buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
         self.buckets = tuple(sorted(buckets))
@@ -106,10 +107,19 @@ class Histogram:
         self.sum = 0.0
         self.count = 0
         self.exemplars: dict[int, dict] = {}
+        # Observed extremes: tighten quantile estimates on low-count
+        # windows (p99 of 3 samples should never exceed the sample max) and
+        # give the overflow bucket a real value instead of the top edge.
+        self.minimum: float | None = None
+        self.maximum: float | None = None
 
     def observe(self, value: float, exemplar: str | None = None) -> None:
         self.sum += value
         self.count += 1
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
         index = len(self.buckets)
         for i, edge in enumerate(self.buckets):
             if value <= edge:
@@ -128,23 +138,56 @@ class Histogram:
         the bucket containing the target rank.
 
         Resolution is bucket-bounded: pick buckets sized for the quantity
-        (e.g. :data:`LATENCY_BUCKETS_S` for serving latencies).  The
-        overflow bucket reports the top edge -- a conservative floor, not an
-        estimate.
+        (e.g. :data:`LATENCY_BUCKETS_S` for serving latencies).  Estimates
+        are clamped into the observed ``[minimum, maximum]`` range, which
+        pins the degenerate cases exactly: an empty histogram reports 0.0,
+        a single distinct value reports itself at every ``q``, a p99 over a
+        three-sample window never exceeds the largest sample, and mass in
+        the overflow bucket reports the true maximum rather than the top
+        finite edge.
         """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {q}")
         if not self.count:
             return 0.0
+        if self.minimum == self.maximum:   # single distinct value
+            return self.minimum
         target = q * self.count
         cum = 0.0
         lo = 0.0
+        estimate: float | None = None
         for edge, n in zip(self.buckets, self.counts):
             if n and cum + n >= target:
-                return lo + (target - cum) / n * (edge - lo)
+                estimate = lo + (target - cum) / n * (edge - lo)
+                break
             cum += n
             lo = edge
-        return self.buckets[-1]
+        if estimate is None:   # target rank lands in the overflow bucket
+            estimate = self.maximum if self.maximum is not None \
+                else self.buckets[-1]
+        if self.minimum is not None:
+            estimate = max(estimate, self.minimum)
+        if self.maximum is not None:
+            estimate = min(estimate, self.maximum)
+        return estimate
+
+    def merge_doc(self, doc: Mapping) -> None:
+        """Fold a serialized histogram (the :meth:`MetricsRegistry.samples`
+        ``histogram`` dict) into this one.  Bucket layouts must match."""
+        counts = doc.get("counts")
+        if counts:
+            if len(counts) != len(self.counts):
+                raise ValueError(
+                    f"bucket mismatch: {len(counts)} counts vs "
+                    f"{len(self.counts)}")
+            self.counts = [a + b for a, b in zip(self.counts, counts)]
+        self.sum += float(doc.get("sum", 0.0))
+        self.count += int(doc.get("count", 0))
+        dmin, dmax = doc.get("min"), doc.get("max")
+        if dmin is not None:
+            self.minimum = dmin if self.minimum is None else min(self.minimum, dmin)
+        if dmax is not None:
+            self.maximum = dmax if self.maximum is None else max(self.maximum, dmax)
 
 
 @dataclass(frozen=True)
@@ -254,6 +297,11 @@ class MetricsRegistry:
                     "sum": metric.sum,
                     "count": metric.count,
                 }
+                # Extremes only exist once observed; empty histograms keep
+                # the pre-extremes serialized shape.
+                if metric.count:
+                    hist_doc["min"] = metric.minimum
+                    hist_doc["max"] = metric.maximum
                 # Only serialized when present, so tracing-off dumps stay
                 # byte-identical to pre-exemplar baselines.
                 if metric.exemplars:
@@ -324,6 +372,8 @@ class MetricsRegistry:
                 hist.counts = list(h.get("counts", hist.counts))
                 hist.sum = float(h.get("sum", 0.0))
                 hist.count = int(h.get("count", 0))
+                hist.minimum = h.get("min")
+                hist.maximum = h.get("max")
                 hist.exemplars = {int(i): dict(e)
                                   for i, e in h.get("exemplars", {}).items()}
         return reg

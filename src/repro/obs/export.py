@@ -27,6 +27,10 @@ __all__ = ["load_entries", "spans_of", "CompletenessReport",
            "merged_chrome_trace"]
 
 
+# Root-span kinds beyond serve requests: fleet control-plane decisions.
+_FLEET_ROOT_KINDS = ("scale", "preempt")
+
+
 def load_entries(path: "str | Path") -> list[dict]:
     """Parse a tracer JSONL file back into entry dicts."""
     entries = []
@@ -50,6 +54,7 @@ class CompletenessReport:
     spans: int = 0
     task_spans: int = 0
     request_roots: int = 0
+    fleet_roots: int = 0     # autoscaler / preemption control-plane traces
     events: int = 0
     problems: list[str] = field(default_factory=list)
 
@@ -59,9 +64,12 @@ class CompletenessReport:
 
     def summary(self) -> str:
         verdict = "OK" if self.ok else f"{len(self.problems)} problem(s)"
+        fleet = (f", {self.fleet_roots} fleet root(s)"
+                 if self.fleet_roots else "")
         return (f"trace completeness {verdict}: {self.traces} trace(s), "
                 f"{self.spans} span(s) ({self.task_spans} device-task), "
-                f"{self.request_roots} request root(s), {self.events} event(s)")
+                f"{self.request_roots} request root(s){fleet}, "
+                f"{self.events} event(s)")
 
 
 def check_completeness(entries: list[dict],
@@ -70,8 +78,9 @@ def check_completeness(entries: list[dict],
 
     Checked: parents exist and share the child's trace (no orphans), spans
     are finished, each trace has exactly one root and it is ``kind ==
-    "request"``, and every ``task`` span reaches a request root by walking
-    parents.  Problems are capped at ``max_problems`` per report.
+    "request"`` (or a fleet control-plane root: ``scale``/``preempt``),
+    and every ``task`` span reaches a request root by walking parents.
+    Problems are capped at ``max_problems`` per report.
     """
     spans = spans_of(entries)
     report = CompletenessReport(
@@ -105,6 +114,10 @@ def check_completeness(entries: list[dict],
         for root in roots:
             if root.kind == "request":
                 report.request_roots += 1
+            elif root.kind in _FLEET_ROOT_KINDS:
+                # Control-plane traces: autoscaler decisions and batcher
+                # preemptions root their own (single-span) traces.
+                report.fleet_roots += 1
             else:
                 problem(f"trace {trace_id} root {root.span_id} "
                         f"({root.name}) is kind={root.kind!r}, not a "

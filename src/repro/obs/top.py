@@ -1,9 +1,10 @@
 """``repro top``: a live terminal dashboard over a serving session.
 
 Renders the server's registry-backed state -- queue depth, batch sizes,
-plan-cache hit ratio, latency quantiles, SLO burn rates, and the
-per-stage time breakdown -- as a plain-text panel, refreshed while a
-loadgen drives traffic.  Everything is read off structures the serve path
+plan-cache hit ratio, latency quantiles, SLO burn rates, the per-stage
+time breakdown, and (on a fleet server) per-class / per-tenant rollups
+plus the autoscaler's device count and scale events -- as a plain-text
+panel, refreshed while a loadgen drives traffic.  Everything is read off structures the serve path
 maintains anyway, so a refresh costs a registry scan, not extra
 instrumentation.
 """
@@ -36,9 +37,19 @@ def render_dashboard(server: "InferenceServer", width: int = 72) -> str:
     depth = server._queue.qsize() if server._queue is not None else 0
     slo = stats.get("slo", {})
     stages = stats.get("stages", {})
+    devices = stats.get("devices", {})
+    auto = stats.get("autoscaler", {})
+    current = devices.get("current", server.config.devices)
+    fleet = f"{current} device(s)"
+    if auto.get("enabled"):
+        fleet += (f" [{auto['min']}..{auto['max']}, +{auto['scale_ups']}"
+                  f"/-{auto['scale_downs']} scale]")
+    title = server.graph.name
+    if len(server.graphs) > 1:
+        title += f" (+{len(server.graphs) - 1} model(s))"
 
     lines = [
-        f"repro top · {server.graph.name} · {server.config.devices} device(s) "
+        f"repro top · {title} · {fleet} "
         f"· wall {stats['wall_s']:.1f} s",
         "-" * width,
         f"requests   completed {reqs['completed']:>6}   degraded "
@@ -55,6 +66,19 @@ def render_dashboard(server: "InferenceServer", width: int = 72) -> str:
         f"request hit ratio {cache['request_hit_ratio']:>6.1%}   "
         f"entries {cache['size']}",
     ]
+    classes = stats.get("classes", {})
+    if len(classes) > 1:
+        for name, c in sorted(classes.items()):
+            lines.append(
+                f"class      {name:<12} ({c['batching']})  done {c['completed']:>5}   "
+                f"shed {c['shed_rate']:>6.1%}   attain {c['attainment']:>7.2%}   "
+                f"p99 {c['p99_s'] * 1e3:>7.1f} ms")
+    tenants = stats.get("tenants", {})
+    if len(tenants) > 1:
+        for name, t in sorted(tenants.items()):
+            lines.append(
+                f"tenant     {name:<12} done {t['completed']:>5}   "
+                f"shed {t['shed']:>4}   p99 {t['p99_s'] * 1e3:>7.1f} ms")
     if stages:
         lines.append(
             f"stages     queued mean {stages.get('queued_mean_ms', 0.0):>7.2f} ms   "

@@ -1,10 +1,17 @@
-"""Persistent compiled-plan cache with LRU eviction.
+"""Persistent compiled-plan cache: per-model partitions with LRU eviction.
 
 Compilation (partitioning + the brick-size and strategy models) is the
 expensive, batch-dependent step of a BrickDL execution: batch size scales
 every activation volume, which moves the L2-footprint partitioning and
 therefore the whole plan.  The serving layer compiles once per *batch
 bucket* and reuses the plan for every batch that lands in the bucket.
+
+A fleet holds many models, and one model's compile storm must not evict
+another's hot plans -- so the cache is *partitioned by model*: each
+partition is its own LRU with its own capacity quota, and eviction never
+crosses a partition boundary.  Aggregate ``hits``/``misses``/``evictions``
+stay available for the single-model manifest shape, while per-partition
+counters land in the registry under a ``partition`` label.
 
 Cache keys digest everything that determines the compiled artifact --
 ``(model, batch_bucket, GPUSpec, strategy/brick override)`` -- and each
@@ -21,7 +28,7 @@ import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING, Callable, Mapping
 
 from repro.metrics.manifest import spec_dict
 
@@ -31,7 +38,7 @@ if TYPE_CHECKING:  # pragma: no cover - types only
     from repro.gpusim.spec import GPUSpec
     from repro.metrics.registry import MetricsRegistry
 
-__all__ = ["PlanKey", "CompiledEntry", "PlanCache"]
+__all__ = ["PlanKey", "CompiledEntry", "CachePartition", "PlanCache"]
 
 
 @dataclass(frozen=True)
@@ -87,59 +94,126 @@ class CompiledEntry:
 
 
 @dataclass
-class PlanCache:
-    """LRU cache of :class:`CompiledEntry`, safe for worker threads.
+class CachePartition:
+    """One model's slice of the plan cache: an isolated LRU with a quota."""
 
-    ``registry`` (optional) receives ``serve_plan_cache_{hits,misses,
-    evictions}`` counters and a ``serve_plan_cache_size`` gauge, so cache
-    behavior lands in the serving manifest alongside the latency metrics.
+    name: str
+    capacity: int
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    entries: "OrderedDict[str, CompiledEntry]" = field(default_factory=OrderedDict)
+
+    def stats(self) -> dict:
+        total = self.hits + self.misses
+        return {
+            "capacity": self.capacity,
+            "size": len(self.entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_ratio": self.hits / total if total else 0.0,
+        }
+
+
+@dataclass
+class PlanCache:
+    """Partitioned LRU cache of :class:`CompiledEntry`, worker-thread safe.
+
+    ``capacity`` is the *per-partition* quota every model gets unless
+    ``quotas`` names a different one; eviction is strictly intra-partition,
+    so model A filling its quota can never push model B's plans out.  The
+    aggregate ``hits``/``misses``/``evictions`` properties sum partitions
+    (the PR-5 single-model shape is the one-partition special case).
+
+    ``registry`` (optional) receives the aggregate ``serve_plan_cache_
+    {hits,misses,evictions}`` counters and ``serve_plan_cache_size`` gauge,
+    plus the same per-partition under ``serve_plan_cache_partition_*``
+    with a ``partition`` label.  ``timer`` measures compile seconds
+    (injectable: virtual-time servers pin it so manifests stay
+    bit-deterministic).
     """
 
     capacity: int = 16
     registry: "MetricsRegistry | None" = None
-    hits: int = 0
-    misses: int = 0
-    evictions: int = 0
-    _entries: "OrderedDict[str, CompiledEntry]" = field(default_factory=OrderedDict)
+    quotas: Mapping[str, int] | None = None
+    timer: Callable[[], float] = time.perf_counter
+    _partitions: "OrderedDict[str, CachePartition]" = field(default_factory=OrderedDict)
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
     _compile_locks: dict = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
         if self.capacity < 1:
             raise ValueError(f"cache capacity must be >= 1, got {self.capacity}")
+        for name, quota in dict(self.quotas or {}).items():
+            if quota < 1:
+                raise ValueError(
+                    f"cache quota for {name!r} must be >= 1, got {quota}")
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return sum(len(p.entries) for p in self._partitions.values())
+
+    # -- aggregates (the single-model manifest shape) -----------------------
+    @property
+    def hits(self) -> int:
+        return sum(p.hits for p in self._partitions.values())
+
+    @property
+    def misses(self) -> int:
+        return sum(p.misses for p in self._partitions.values())
+
+    @property
+    def evictions(self) -> int:
+        return sum(p.evictions for p in self._partitions.values())
 
     @property
     def hit_ratio(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    def partition(self, model: str) -> CachePartition:
+        """The model's partition, created at its quota on first touch."""
+        part = self._partitions.get(model)
+        if part is None:
+            quota = dict(self.quotas or {}).get(model, self.capacity)
+            part = self._partitions[model] = CachePartition(model, quota)
+        return part
+
+    def partition_stats(self) -> dict[str, dict]:
+        with self._lock:
+            return {name: p.stats()
+                    for name, p in sorted(self._partitions.items())}
+
+    # -- lookup / insert ----------------------------------------------------
     def get(self, key: PlanKey) -> CompiledEntry | None:
         digest = key.digest()
         with self._lock:
-            entry = self._entries.get(digest)
+            part = self.partition(key.model)
+            entry = part.entries.get(digest)
             if entry is None:
-                self.misses += 1
+                part.misses += 1
                 self._count("serve_plan_cache_misses")
+                self._count("serve_plan_cache_partition_misses", part.name)
                 return None
-            self._entries.move_to_end(digest)
+            part.entries.move_to_end(digest)
             entry.uses += 1
-            self.hits += 1
+            part.hits += 1
             self._count("serve_plan_cache_hits")
+            self._count("serve_plan_cache_partition_hits", part.name)
             return entry
 
     def put(self, entry: CompiledEntry) -> None:
         digest = entry.key.digest()
         with self._lock:
-            self._entries[digest] = entry
-            self._entries.move_to_end(digest)
-            while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
-                self.evictions += 1
+            part = self.partition(entry.key.model)
+            part.entries[digest] = entry
+            part.entries.move_to_end(digest)
+            while len(part.entries) > part.capacity:
+                part.entries.popitem(last=False)
+                part.evictions += 1
                 self._count("serve_plan_cache_evictions")
-            self._gauge("serve_plan_cache_size", len(self._entries))
+                self._count("serve_plan_cache_partition_evictions", part.name)
+            self._gauge("serve_plan_cache_size", len(self))
 
     def get_or_compile(self, key: PlanKey,
                        compile_fn: Callable[[PlanKey], CompiledEntry]) -> tuple[CompiledEntry, bool]:
@@ -157,22 +231,24 @@ class PlanCache:
             entry = self.get(key)
             if entry is not None:
                 return entry, True
-            t0 = time.perf_counter()
+            t0 = self.timer()
             entry = compile_fn(key)
-            entry.compile_s = time.perf_counter() - t0
+            entry.compile_s = self.timer() - t0
             if self.registry is not None:
                 self.registry.counter("serve_plan_compile_s").inc(entry.compile_s)
             self.put(entry)
             return entry, False
 
     def snapshot(self) -> list[dict]:
-        """Per-entry descriptions, LRU-oldest first (for manifests)."""
+        """Per-entry descriptions, partition then LRU-oldest first."""
         with self._lock:
-            return [e.describe() for e in self._entries.values()]
+            return [e.describe()
+                    for _, part in sorted(self._partitions.items())
+                    for e in part.entries.values()]
 
-    def _count(self, name: str) -> None:
+    def _count(self, name: str, partition: str | None = None) -> None:
         if self.registry is not None:
-            self.registry.counter(name).inc()
+            self.registry.counter(name, partition=partition).inc()
 
     def _gauge(self, name: str, value: float) -> None:
         if self.registry is not None:

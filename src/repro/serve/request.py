@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 __all__ = ["InferenceRequest", "InferenceResponse", "QueueSaturatedError",
-           "ServerClosedError"]
+           "TenantQuotaError", "ServerClosedError"]
 
 
 class QueueSaturatedError(RuntimeError):
@@ -34,6 +34,21 @@ class QueueSaturatedError(RuntimeError):
         super().__init__(message)
         self.request_id = request_id
         self.trace_id = trace_id
+
+
+class TenantQuotaError(QueueSaturatedError):
+    """Admission rejected by the *tenant's* in-flight quota, not global
+    saturation: one tenant flooding the fleet is shed by name while other
+    tenants keep admitting.  Subclasses :class:`QueueSaturatedError` so
+    clients that only know "back off and retry" handle both the same way.
+    """
+
+    def __init__(self, message: str = "tenant quota exhausted",
+                 tenant: str | None = None,
+                 request_id: int | None = None,
+                 trace_id: str | None = None) -> None:
+        super().__init__(message, request_id=request_id, trace_id=trace_id)
+        self.tenant = tenant
 
 
 class ServerClosedError(RuntimeError):
@@ -59,6 +74,12 @@ class InferenceRequest:
     # When the dynamic batcher pulled this request into a batch (event-loop
     # clock); ``None`` until batched (or never, on the saturation path).
     batched_s: float | None = None
+    # Fleet identity: which resident model serves this request, which tenant
+    # submitted it, and which priority class admitted it.  Single-model
+    # servers fill these with their defaults, so the fields are always set.
+    model: str = ""
+    tenant: str = "default"
+    priority: str = "standard"
 
     def expired(self, now_s: float) -> bool:
         return self.deadline_s is not None and now_s > self.deadline_s
@@ -88,3 +109,8 @@ class InferenceResponse:
     admitted_s: float = 0.0          # event-loop time of admission
     batched_s: float | None = None   # when the batcher picked it up
     completed_s: float = 0.0         # event-loop time of resolution
+    # Fleet identity (mirrors the request; defaults keep hand-built
+    # responses and single-model servers valid).
+    model: str = ""
+    tenant: str = "default"
+    priority: str = "standard"

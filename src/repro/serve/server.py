@@ -1,12 +1,19 @@
-"""The asyncio inference server over the simulated device fleet.
+"""The asyncio inference fleet over the simulated devices.
 
 Request lifecycle::
 
-    submit() -> admission queue (bounded; saturation degrades or rejects)
-             -> DynamicBatcher (coalesce up to max_batch / max_wait)
-             -> scheduler (round-robin over N simulated devices, one batch
-                in flight per device -- natural backpressure)
-             -> PlanCache lookup by (model, batch bucket, GPUSpec, override)
+    submit(model=, tenant=, priority=)
+             -> per-tenant admission quota (over-quota sheds by name)
+             -> admission queue (bounded; one buffer per priority class:
+                FIFO for head-anchored classes, (deadline, seq) heap for
+                EDF classes; saturation degrades or rejects)
+             -> FleetBatcher (highest-rank class first; coalesce up to
+                max_batch / max_wait, model-homogeneous; higher-rank
+                arrivals preempt a lower class's coalescing window)
+             -> DevicePool (idle FIFO rotation; the autoscaler grows and
+                shrinks the fleet from queue-depth/burn-rate signals)
+             -> PlanCache partition lookup by (model, batch bucket,
+                GPUSpec, override) -- per-model quotas, isolated eviction
              -> BrickDLEngine.run on a fresh Device built from the cached
                 entry's sector-adapted spec
              -> per-request response slices resolve the futures
@@ -17,12 +24,17 @@ batching and runs single-shot through the cuDNN-fallback baseline path --
 the vendor-library execution the paper falls back to for unmergeable work
 (section 3.3.3) -- so the server sheds load by serving *slower, cheaper*
 rather than dropping.  Policy ``reject`` turns saturation into
-:class:`~repro.serve.request.QueueSaturatedError` instead.
+:class:`~repro.serve.request.QueueSaturatedError`; a tenant over its
+in-flight quota is always shed, as
+:class:`~repro.serve.request.TenantQuotaError`.
 
-Everything executes on the *simulated* device, so "latency" is wall time
-of the simulation (queueing is real; execution cost is the simulator's
-Python time), while each response also carries the simulated device time
-of its batch.  Serve-path metrics flow into a
+Execution modes: ``thread`` (default) runs the CPU-bound simulation in a
+worker thread so the event loop keeps admitting -- wall-clock serving.
+``inline`` runs it synchronously on the loop and charges the simulated
+duration as an ``asyncio.sleep`` -- under a
+:class:`~repro.serve.vtime.VirtualTimeLoop` this makes a whole serving
+session a deterministic discrete-event simulation (the scenario packs'
+mode).  Serve-path metrics flow into a
 :class:`~repro.metrics.MetricsRegistry` and out through
 :func:`~repro.metrics.manifest_from_serve`.
 """
@@ -31,7 +43,9 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import time
 from dataclasses import dataclass
+from typing import Mapping, Sequence
 
 import numpy as np
 
@@ -50,27 +64,32 @@ from repro.metrics import (
 )
 from repro.metrics.slo import SLOConfig
 from repro.obs.slo import SLOMonitor
-from repro.serve.batcher import DynamicBatcher, batch_bucket
+from repro.serve.autoscaler import Autoscaler, AutoscalerConfig, DevicePool
+from repro.serve.batcher import batch_bucket
 from repro.serve.plancache import CompiledEntry, PlanCache, PlanKey
 from repro.serve.request import (
     InferenceRequest,
     InferenceResponse,
     QueueSaturatedError,
     ServerClosedError,
+    TenantQuotaError,
 )
+from repro.serve.scheduler import AdmissionQueue, FleetBatcher, PriorityClass
 
 __all__ = ["ServeConfig", "InferenceServer"]
+
+_EXECUTION_MODES = ("thread", "inline")
 
 
 @dataclass(frozen=True)
 class ServeConfig:
     """Tunables of one serving session."""
 
-    devices: int = 2             # simulated device fleet size
+    devices: int = 2             # simulated device fleet size (baseline)
     max_batch: int = 8           # dynamic batcher cap (and largest bucket)
     max_wait_s: float = 0.02     # batcher hold on the head request
     queue_depth: int = 64        # admission queue bound (backpressure)
-    cache_capacity: int = 16     # compiled-plan LRU entries
+    cache_capacity: int = 16     # compiled-plan LRU entries per partition
     saturation_policy: str = "degrade"   # "degrade" | "reject"
     functional: bool = True      # False: profile mode (no NumPy arithmetic)
     strategy: Strategy | None = None     # engine strategy override
@@ -81,10 +100,28 @@ class ServeConfig:
     # completed inside it -- the deterministic CI straggler objective).
     slo_objective: float = 0.99
     slo_latency_target_s: float | None = None
-    # Fault injection: add this much wall-clock delay to every batch served
+    # Fault injection: add this much event-loop delay to every batch served
     # by one device (straggler emulation; never touches simulated metrics).
     straggler_device: int | None = None
     straggler_delay_s: float = 0.0
+    # -- fleet knobs --------------------------------------------------------
+    # Priority classes; () means one default class using ``batching``.
+    classes: tuple[PriorityClass, ...] = ()
+    default_class: str | None = None     # class used when submit() omits one
+    batching: str = "head"               # default class's mode: head | edf
+    # Per-tenant in-flight admission quotas; ``default_tenant_quota`` caps
+    # tenants not named (None = unlimited).
+    tenant_quotas: Mapping[str, int] | None = None
+    default_tenant_quota: int | None = None
+    # Per-model plan-cache capacity overrides (else ``cache_capacity``).
+    cache_quotas: Mapping[str, int] | None = None
+    # Autoscaler; None pins the fleet at ``devices``.
+    autoscaler: AutoscalerConfig | None = None
+    # "thread": simulate in a worker thread (wall-clock serving).
+    # "inline": simulate on the loop, charge sim time as virtual sleep.
+    execution: str = "thread"
+    # Virtual service seconds charged per simulated second (inline mode).
+    service_time_scale: float = 1.0
 
     def __post_init__(self) -> None:
         if self.devices < 1:
@@ -98,31 +135,78 @@ class ServeConfig:
         if self.straggler_delay_s < 0:
             raise ValueError(
                 f"straggler_delay_s must be >= 0, got {self.straggler_delay_s}")
+        if self.batching not in ("head", "edf"):
+            raise ValueError(
+                f"batching must be 'head' or 'edf', got {self.batching!r}")
+        if self.execution not in _EXECUTION_MODES:
+            raise ValueError(
+                f"execution must be one of {_EXECUTION_MODES}, "
+                f"got {self.execution!r}")
+        if self.service_time_scale < 0:
+            raise ValueError(f"service_time_scale must be >= 0, "
+                             f"got {self.service_time_scale}")
+        names = [c.name for c in self.classes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate priority class names: {names}")
+        if self.default_class is not None and self.classes \
+                and self.default_class not in names:
+            raise ValueError(
+                f"default_class {self.default_class!r} not in classes {names}")
+        for tenant, quota in dict(self.tenant_quotas or {}).items():
+            if quota < 1:
+                raise ValueError(
+                    f"tenant quota for {tenant!r} must be >= 1, got {quota}")
+
+
+def _blank_class_stats() -> dict:
+    return {"completed": 0, "shed": 0, "good": 0, "total": 0}
+
+
+def _blank_tenant_stats() -> dict:
+    return {"completed": 0, "shed": 0}
 
 
 class InferenceServer:
-    """Serve one model graph from a dynamic-batching asyncio loop."""
+    """Serve one or many model graphs from a fleet-scheduling asyncio loop."""
 
     def __init__(
         self,
-        graph: Graph,
+        graph: "Graph | Sequence[Graph] | Mapping[str, Graph]",
         spec: GPUSpec = A100,
         config: ServeConfig = ServeConfig(),
         registry: MetricsRegistry | None = None,
         tracer=None,
         slo: SLOConfig | None = None,
     ) -> None:
-        graph.validate()
-        if any(n.spec.batch != 1 for n in graph.input_nodes):
+        graphs = self._normalize_graphs(graph)
+        for g in graphs:
+            g.validate()
+            if any(n.spec.batch != 1 for n in g.input_nodes):
+                raise ExecutionError(
+                    f"serve graphs must be built at batch 1 ({g.name!r} is "
+                    f"not); the server rebatches per bucket itself")
+        self.graphs: dict[str, Graph] = {g.name: g for g in graphs}
+        if len(self.graphs) != len(graphs):
             raise ExecutionError(
-                "serve graphs must be built at batch 1; the server rebatches "
-                "per bucket itself")
-        self.graph = graph
+                f"resident models need unique names, got "
+                f"{[g.name for g in graphs]}")
+        self.graph = graphs[0]   # primary model (single-model back-compat)
         self.spec = spec
         self.config = config
         self.registry = registry if registry is not None else MetricsRegistry()
-        self.registry.set_base(model=graph.name)
-        self.cache = PlanCache(capacity=config.cache_capacity, registry=self.registry)
+        self.registry.set_base(model=self.graph.name)
+        self.cache = PlanCache(
+            capacity=config.cache_capacity, registry=self.registry,
+            quotas=config.cache_quotas,
+            timer=(self._loop_time if config.execution == "inline"
+                   else time.perf_counter))
+        # Priority classes: explicit set, or one default class built from
+        # the config's ``batching`` mode.
+        classes = config.classes or (
+            PriorityClass(name="standard", rank=0, batching=config.batching),)
+        self.classes: dict[str, PriorityClass] = {c.name: c for c in classes}
+        self._class_list = classes
+        self.default_class = config.default_class or classes[0].name
         # Observability: the tracer (and its flight recorder) are optional;
         # the SLO monitor is always on -- recording one outcome per request
         # is two appends, and burn rates belong in every manifest.
@@ -134,12 +218,14 @@ class InferenceServer:
                 latency_target_s=config.slo_latency_target_s),
             registry=self.registry, tracer=tracer, recorder=self.recorder)
         if config.functional:
-            graph.init_weights()
+            for g in graphs:
+                g.init_weights()
 
-        self._queue: asyncio.Queue[InferenceRequest] | None = None
-        self._batcher: DynamicBatcher | None = None
+        self._queue: AdmissionQueue | None = None
+        self._batcher: FleetBatcher | None = None
+        self._pool: DevicePool | None = None
+        self._autoscaler: Autoscaler | None = None
         self._tasks: list[asyncio.Task] = []
-        self._device_queues: list[asyncio.Queue] = []
         self._pending: set[asyncio.Future] = set()
         self._ids = itertools.count()
         self._running = False
@@ -156,24 +242,45 @@ class InferenceServer:
         # Requests that rode an already-cached plan (no compile in their
         # critical path) -- the request-weighted cache hit numerator.
         self.cached_plan_requests = 0
+        # Fleet dimensions: plain-int rollups per class/tenant/model.
+        self._class_stats = {name: _blank_class_stats() for name in self.classes}
+        self._tenant_stats: dict[str, dict] = {}
+        self._model_stats = {name: {"completed": 0} for name in self.graphs}
+        self._tenant_inflight: dict[str, int] = {}
+
+    @staticmethod
+    def _normalize_graphs(graph) -> list[Graph]:
+        if isinstance(graph, Graph):
+            return [graph]
+        if isinstance(graph, Mapping):
+            return list(graph.values())
+        graphs = list(graph)
+        if not graphs:
+            raise ExecutionError("server needs at least one model graph")
+        return graphs
 
     # -- lifecycle ----------------------------------------------------------
     async def start(self) -> "InferenceServer":
         if self._running:
             return self
         loop = asyncio.get_running_loop()
-        self._queue = asyncio.Queue(maxsize=self.config.queue_depth)
-        self._batcher = DynamicBatcher(
+        self._queue = AdmissionQueue(self._class_list,
+                                     depth=self.config.queue_depth)
+        self._batcher = FleetBatcher(
             self._queue, max_batch=self.config.max_batch,
-            max_wait_s=self.config.max_wait_s)
-        self._device_queues = [asyncio.Queue(maxsize=1)
-                               for _ in range(self.config.devices)]
+            max_wait_s=self.config.max_wait_s,
+            on_preempt=self._on_preempt)
+        self._pool = DevicePool(self._device_loop)
+        for _ in range(self.config.devices):
+            self._pool.spawn()
         self._tasks = [asyncio.create_task(self._schedule_loop(),
                                            name="serve/scheduler")]
-        self._tasks += [
-            asyncio.create_task(self._device_loop(i), name=f"serve/device{i}")
-            for i in range(self.config.devices)
-        ]
+        if self.config.autoscaler is not None:
+            self._autoscaler = Autoscaler(
+                self.config.autoscaler, self._pool, self._autoscale_signals,
+                registry=self.registry, tracer=self.tracer)
+            self._tasks.append(asyncio.create_task(
+                self._autoscaler.run(), name="serve/autoscaler"))
         self._running = True
         self._started_s = loop.time()
         self._stopped_s = None
@@ -186,9 +293,10 @@ class InferenceServer:
         self._running = False  # no new admissions
         if self._pending:
             await asyncio.gather(*list(self._pending), return_exceptions=True)
-        for task in self._tasks:
+        tasks = self._tasks + (self._pool.tasks() if self._pool else [])
+        for task in tasks:
             task.cancel()
-        await asyncio.gather(*self._tasks, return_exceptions=True)
+        await asyncio.gather(*tasks, return_exceptions=True)
         self._tasks = []
         self._stopped_s = asyncio.get_running_loop().time()
 
@@ -203,28 +311,49 @@ class InferenceServer:
         self,
         x: np.ndarray | None = None,
         timeout_s: float | None = None,
+        *,
+        model: str | None = None,
+        tenant: str = "default",
+        priority: str | None = None,
     ) -> InferenceResponse:
         """Admit one request and await its response.
 
-        ``x`` is the input activation (shape of the graph's batch-1 input);
+        ``x`` is the input activation (shape of the model's batch-1 input);
         ``None`` is only valid on a profile-mode server.  ``timeout_s``
-        (default :attr:`ServeConfig.default_timeout_s`) sets the queueing
-        deadline: a request still waiting past it degrades to the fallback
-        path rather than riding a batch.
+        (default: the class's, then :attr:`ServeConfig.default_timeout_s`)
+        sets the queueing deadline: a request still waiting past it degrades
+        to the fallback path rather than riding a batch.  ``model`` selects
+        a resident model (default: the primary), ``tenant`` attributes the
+        request for quotas and metrics, ``priority`` names an admission
+        class.
         """
         if not self._running:
             raise ServerClosedError(f"server for {self.graph.name!r} is not running")
         if self.config.functional and x is None:
             raise ExecutionError("functional server requires an input array")
+        model = model if model is not None else self.graph.name
+        if model not in self.graphs:
+            raise ExecutionError(
+                f"model {model!r} is not resident "
+                f"(have {sorted(self.graphs)})")
+        class_name = priority if priority is not None else self.default_class
+        cls = self.classes.get(class_name)
+        if cls is None:
+            raise ValueError(f"unknown priority class {class_name!r} "
+                             f"(have {sorted(self.classes)})")
         loop = asyncio.get_running_loop()
-        timeout_s = timeout_s if timeout_s is not None else self.config.default_timeout_s
+        if timeout_s is None:
+            timeout_s = (cls.default_timeout_s
+                         if cls.default_timeout_s is not None
+                         else self.config.default_timeout_s)
         now = loop.time()
         request_id = next(self._ids)
         root = None
         if self.tracer is not None:
             root = self.tracer.start_span(
                 "request", kind="request", start_s=now,
-                request_id=request_id, model=self.graph.name)
+                request_id=request_id, model=model, tenant=tenant,
+                **{"class": cls.name})
         req = InferenceRequest(
             request_id=request_id,
             input=None if x is None else np.asarray(x, dtype=np.float32),
@@ -232,11 +361,20 @@ class InferenceServer:
             enqueued_s=now,
             future=loop.create_future(),
             trace=root,
+            model=model,
+            tenant=tenant,
+            priority=cls.name,
         )
         self._pending.add(req.future)
         req.future.add_done_callback(self._pending.discard)
+        quota = self._tenant_quota(tenant)
+        if quota is not None and self._tenant_inflight.get(tenant, 0) >= quota:
+            self._reject(req, loop.time(), reason="quota")
+        self._tenant_inflight[tenant] = self._tenant_inflight.get(tenant, 0) + 1
+        req.future.add_done_callback(
+            lambda _f, t=tenant: self._release_tenant(t))
         try:
-            self._queue.put_nowait(req)
+            self._queue.put_nowait(req, cls.name)
         except asyncio.QueueFull:
             if self.config.saturation_policy == "reject":
                 self._reject(req, loop.time())
@@ -251,23 +389,59 @@ class InferenceServer:
         self._observe_queue_depth()
         return await req.future
 
-    def _reject(self, req: InferenceRequest, now_s: float) -> None:
+    def _tenant_quota(self, tenant: str) -> int | None:
+        quotas = self.config.tenant_quotas or {}
+        if tenant in quotas:
+            return quotas[tenant]
+        return self.config.default_tenant_quota
+
+    def _release_tenant(self, tenant: str) -> None:
+        left = self._tenant_inflight.get(tenant, 0) - 1
+        if left > 0:
+            self._tenant_inflight[tenant] = left
+        else:
+            self._tenant_inflight.pop(tenant, None)
+
+    def _tenant_stat(self, tenant: str) -> dict:
+        stat = self._tenant_stats.get(tenant)
+        if stat is None:
+            stat = self._tenant_stats[tenant] = _blank_tenant_stats()
+        return stat
+
+    def _reject(self, req: InferenceRequest, now_s: float,
+                reason: str = "saturated") -> None:
         """Shed one request by name: counters, SLO debit, flight dump, raise."""
         self.rejected += 1
         self.registry.counter("serve_requests_rejected").inc()
+        self.registry.counter(
+            "serve_requests_shed", reason=reason, tenant=req.tenant,
+            **{"class": req.priority}).inc()
+        cstats = self._class_stats[req.priority]
+        cstats["shed"] += 1
+        cstats["total"] += 1
+        self._tenant_stat(req.tenant)["shed"] += 1
         trace_id = req.trace.trace_id if req.trace is not None else None
         self.slo.observe(now_s, good=False, trace_id=trace_id)
-        message = (f"request {req.request_id}: admission queue full "
-                   f"({self.config.queue_depth}); retry later")
+        if reason == "quota":
+            message = (f"request {req.request_id}: tenant {req.tenant!r} at "
+                       f"its in-flight quota "
+                       f"({self._tenant_quota(req.tenant)}); retry later")
+        else:
+            message = (f"request {req.request_id}: admission queue full "
+                       f"({self.config.queue_depth}); retry later")
         if self.recorder is not None:
             self.recorder.trigger("reject", detail=message, trace_id=trace_id,
                                   request_id=req.request_id, time_s=now_s)
         if self.tracer is not None:
             self.tracer.event("reject", ctx=req.trace,
-                              request_id=req.request_id,
+                              request_id=req.request_id, reason=reason,
                               queue_depth=self.config.queue_depth)
             self.tracer.end_span(req.trace, end_s=now_s, status="rejected")
         req.future.cancel()
+        if reason == "quota":
+            raise TenantQuotaError(message, tenant=req.tenant,
+                                   request_id=req.request_id,
+                                   trace_id=trace_id) from None
         raise QueueSaturatedError(message, request_id=req.request_id,
                                   trace_id=trace_id) from None
 
@@ -279,22 +453,40 @@ class InferenceServer:
 
     # -- scheduling ---------------------------------------------------------
     async def _schedule_loop(self) -> None:
-        """Round-robin formed batches across the device fleet.
+        """Dispatch formed batches to idle devices.
 
-        ``await put`` on a size-1 device queue is the backpressure: batch
+        ``await acquire()`` on the pool is the backpressure: batch
         formation stalls while every device is busy, which in turn lets the
         admission queue fill and the saturation policy engage.
         """
-        device = 0
         while True:
-            batch = await self._batcher.next_batch()
-            await self._device_queues[device].put(batch)
-            device = (device + 1) % self.config.devices
+            _cls, batch = await self._batcher.next_batch()
+            index = await self._pool.acquire()
+            self._pool.dispatch(index, batch)
 
-    async def _device_loop(self, index: int) -> None:
+    def _on_preempt(self, cls: PriorityClass, by: PriorityClass,
+                    batch_size: int) -> None:
+        self.registry.counter("serve_preemptions",
+                              **{"class": cls.name}).inc()
+        if self.tracer is not None:
+            now = self._loop_time()
+            self.tracer.record_span(
+                "preempt", parent=None, kind="preempt", start_s=now,
+                end_s=now, preempted=cls.name, by=by.name,
+                batch_size=batch_size)
+
+    def _autoscale_signals(self) -> tuple[int, float]:
+        depth = self._queue.qsize() if self._queue is not None else 0
+        window = self.config.autoscaler.burn_window_s
+        burn = self.slo.monitor.burn(window, self._loop_time())
+        return depth, burn
+
+    async def _device_loop(self, index: int, queue: asyncio.Queue) -> None:
         loop = asyncio.get_running_loop()
         while True:
-            batch = await self._device_queues[index].get()
+            batch = await queue.get()
+            if batch is None:   # retirement sentinel from the pool
+                break
             self._observe_queue_depth()
             # Timeout -> fallback degradation: requests whose deadline
             # lapsed while queued leave the batch and run single-shot.
@@ -319,8 +511,22 @@ class InferenceServer:
                 await self._serve_fallback(req, timed_out=True, device=index)
             if live:
                 await self._serve_batch(live, index)
+            self._pool.release(index)
 
     # -- execution ----------------------------------------------------------
+    async def _run_execute(self, batch: list[InferenceRequest], bucket: int,
+                           strategy: Strategy | None, span, device: int):
+        """Execute with the configured mode: worker thread (wall-clock) or
+        inline with simulated time charged as (virtual) loop sleep."""
+        if self.config.execution == "thread":
+            return await asyncio.to_thread(
+                self._execute, batch, bucket, strategy, span, device)
+        result = self._execute(batch, bucket, strategy, span, device)
+        delay = result[3] * self.config.service_time_scale
+        if delay > 0:
+            await asyncio.sleep(delay)
+        return result
+
     async def _serve_batch(self, batch: list[InferenceRequest], device: int) -> None:
         loop = asyncio.get_running_loop()
         # The batch span parents onto the *head* request's trace (Clipper
@@ -331,13 +537,13 @@ class InferenceServer:
         if self.tracer is not None and batch[0].trace is not None:
             batch_span = self.tracer.start_span(
                 "batch", parent=batch[0].trace, kind="batch",
-                device=device, size=len(batch),
+                device=device, size=len(batch), model=batch[0].model,
                 request_ids=[r.request_id for r in batch],
                 member_traces=[r.trace.trace_id for r in batch
                                if r.trace is not None])
         try:
-            outputs, bucket, hit, sim_s = await asyncio.to_thread(
-                self._execute, batch, batch_bucket(len(batch), self.config.max_batch),
+            outputs, bucket, hit, sim_s = await self._run_execute(
+                batch, batch_bucket(len(batch), self.config.max_batch),
                 None, batch_span, device)
         except Exception as exc:  # resolve, never wedge the worker
             self._trace_failure(exc, batch, batch_span, device)
@@ -379,6 +585,9 @@ class InferenceServer:
                 admitted_s=req.enqueued_s,
                 batched_s=req.batched_s,
                 completed_s=now,
+                model=req.model,
+                tenant=req.tenant,
+                priority=req.priority,
             ))
 
     async def _serve_fallback(self, req: InferenceRequest, timed_out: bool,
@@ -390,8 +599,8 @@ class InferenceServer:
                 "fallback", parent=req.trace, kind="batch", device=device,
                 request_id=req.request_id, timed_out=timed_out)
         try:
-            outputs, bucket, hit, sim_s = await asyncio.to_thread(
-                self._execute, [req], 1, Strategy.CUDNN, fb_span, device)
+            outputs, bucket, hit, sim_s = await self._run_execute(
+                [req], 1, Strategy.CUDNN, fb_span, device)
         except Exception as exc:
             self._trace_failure(exc, [req], fb_span, device)
             if not req.future.done():
@@ -423,6 +632,9 @@ class InferenceServer:
             admitted_s=req.enqueued_s,
             batched_s=req.batched_s,
             completed_s=now,
+            model=req.model,
+            tenant=req.tenant,
+            priority=req.priority,
         ))
 
     def _trace_failure(self, exc: Exception, batch: list[InferenceRequest],
@@ -460,8 +672,7 @@ class InferenceServer:
         try:
             return asyncio.get_running_loop().time()
         except RuntimeError:
-            import time as _time
-            return _time.monotonic()
+            return time.monotonic()
 
     def _resolve(self, req: InferenceRequest, response: InferenceResponse) -> None:
         self.completed += 1
@@ -470,6 +681,30 @@ class InferenceServer:
         self.registry.histogram(
             "serve_latency_s", buckets=LATENCY_BUCKETS_S, path=path,
         ).observe(response.latency_s, exemplar=response.trace_id)
+        # Fleet dimensions: per-tenant / per-class / per-model series.
+        self.registry.counter("serve_tenant_requests",
+                              tenant=req.tenant).inc()
+        self.registry.histogram(
+            "serve_tenant_latency_s", buckets=LATENCY_BUCKETS_S,
+            tenant=req.tenant).observe(response.latency_s)
+        self.registry.histogram(
+            "serve_class_latency_s", buckets=LATENCY_BUCKETS_S,
+            **{"class": req.priority}).observe(response.latency_s)
+        self.registry.histogram(
+            "serve_model_latency_s", buckets=LATENCY_BUCKETS_S,
+            model=req.model).observe(response.latency_s)
+        good = response.deadline_met
+        target = self.slo.config.latency_target_s
+        if good and target is not None:
+            good = response.latency_s <= target
+        cstats = self._class_stats[req.priority]
+        cstats["completed"] += 1
+        cstats["total"] += 1
+        if good:
+            cstats["good"] += 1
+        self._tenant_stat(req.tenant)["completed"] += 1
+        if req.model in self._model_stats:
+            self._model_stats[req.model]["completed"] += 1
         if response.batched_s is not None:
             self.registry.histogram(
                 "serve_stage_s", buckets=LATENCY_BUCKETS_S, stage="queued",
@@ -495,13 +730,18 @@ class InferenceServer:
         if not req.future.done():
             req.future.set_result(response)
 
-    # Runs in a worker thread (asyncio.to_thread): everything here is
-    # CPU-bound simulation; the event loop keeps admitting meanwhile.
+    # In thread mode this runs in a worker thread (asyncio.to_thread):
+    # everything here is CPU-bound simulation; the event loop keeps
+    # admitting meanwhile.  In inline mode it runs on the loop and the
+    # caller charges the simulated duration as virtual sleep.
     def _execute(self, batch: list[InferenceRequest], bucket: int,
                  strategy: Strategy | None = None, parent_span=None,
                  device_index: int | None = None):
         strategy = strategy if strategy is not None else self.config.strategy
-        key = PlanKey(model=self.graph.name, batch_bucket=bucket,
+        model = batch[0].model if batch[0].model in self.graphs \
+            else self.graph.name
+        graph = self.graphs[model]
+        key = PlanKey(model=model, batch_bucket=bucket,
                       spec=self.spec, strategy=strategy,
                       brick=self.config.brick)
         tracer = self.tracer if parent_span is not None else None
@@ -515,7 +755,7 @@ class InferenceServer:
                 compile_s=round(entry.compile_s, 4))
         inputs = None
         if self.config.functional:
-            spec = self.graph.input_nodes[0].spec
+            spec = graph.input_nodes[0].spec
             stacked = np.zeros((bucket, *spec.shape[1:]), dtype=spec.dtype)
             for i, req in enumerate(batch):
                 stacked[i:i + 1] = req.input
@@ -545,7 +785,7 @@ class InferenceServer:
         from repro.bench.harness import adapt_sectors
 
         engine = BrickDLEngine(
-            self.graph, spec=key.spec,
+            self.graphs[key.model], spec=key.spec,
             strategy_override=key.strategy, brick_override=key.brick,
         ).for_batch(key.batch_bucket)
         plan = engine.compile()
@@ -572,10 +812,12 @@ class InferenceServer:
         from repro.metrics.registry import Histogram
         merged = Histogram(buckets=LATENCY_BUCKETS_S)
         for s in hists:
-            merged.counts = [a + b for a, b in zip(merged.counts, s.histogram["counts"])]
-            merged.count += s.histogram["count"]
-            merged.sum += s.histogram["sum"]
+            merged.merge_doc(s.histogram)
         return merged.quantile(q)
+
+    def _dimension_quantile(self, name: str, q: float, **labels) -> float:
+        return self.registry.histogram(
+            name, buckets=LATENCY_BUCKETS_S, **labels).quantile(q)
 
     def stats(self) -> dict:
         """Serve-path rollup (the ``metrics.serve`` block of the manifest)."""
@@ -595,6 +837,8 @@ class InferenceServer:
             "batches": {
                 "count": self.batches,
                 "mean_size": batch_hist.mean,
+                "preemptions": (self._batcher.preemptions
+                                if self._batcher is not None else 0),
             },
             "plan_cache": {
                 "hits": self.cache.hits,
@@ -607,12 +851,74 @@ class InferenceServer:
                 "request_hit_ratio": (self.cached_plan_requests / self.completed
                                       if self.completed else 0.0),
                 "size": len(self.cache),
+                "partitions": self.cache.partition_stats(),
             },
             "sim_time_s": self.registry.counter("serve_sim_time_s").value,
             "wall_s": wall,
             "throughput_rps": self.completed / wall if wall > 0 else 0.0,
             "stages": self._stage_stats(),
             "slo": self.slo.stats(),
+            "classes": self._class_rollup(),
+            "tenants": self._tenant_rollup(),
+            "models": self._model_rollup(),
+            "devices": self._device_rollup(),
+            "autoscaler": (self._autoscaler.stats()
+                           if self._autoscaler is not None
+                           else {"enabled": False,
+                                 "devices": (self._pool.size if self._pool
+                                             else self.config.devices),
+                                 "scale_ups": 0, "scale_downs": 0,
+                                 "events": []}),
+        }
+
+    def _class_rollup(self) -> dict:
+        out = {}
+        for name in self.classes:
+            c = self._class_stats[name]
+            total = c["total"]
+            out[name] = {
+                "batching": self.classes[name].batching,
+                "completed": c["completed"],
+                "shed": c["shed"],
+                "shed_rate": c["shed"] / total if total else 0.0,
+                "attainment": c["good"] / total if total else 1.0,
+                "p50_s": self._dimension_quantile(
+                    "serve_class_latency_s", 0.50, **{"class": name}),
+                "p99_s": self._dimension_quantile(
+                    "serve_class_latency_s", 0.99, **{"class": name}),
+            }
+        return out
+
+    def _tenant_rollup(self) -> dict:
+        out = {}
+        for name in sorted(self._tenant_stats):
+            t = self._tenant_stats[name]
+            out[name] = {
+                "completed": t["completed"],
+                "shed": t["shed"],
+                "p99_s": self._dimension_quantile(
+                    "serve_tenant_latency_s", 0.99, tenant=name),
+            }
+        return out
+
+    def _model_rollup(self) -> dict:
+        out = {}
+        for name in self.graphs:
+            out[name] = {
+                "completed": self._model_stats[name]["completed"],
+                "p50_s": self._dimension_quantile(
+                    "serve_model_latency_s", 0.50, model=name),
+                "p99_s": self._dimension_quantile(
+                    "serve_model_latency_s", 0.99, model=name),
+            }
+        return out
+
+    def _device_rollup(self) -> dict:
+        return {
+            "configured": self.config.devices,
+            "current": self._pool.size if self._pool else self.config.devices,
+            "started": self._pool.started if self._pool else 0,
+            "retired": self._pool.retired if self._pool else 0,
         }
 
     def _stage_stats(self) -> dict:

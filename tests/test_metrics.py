@@ -368,3 +368,79 @@ class TestExporters:
         # Samples are deduplicated: values change monotonically over time.
         values = [e["args"]["value"] for e in layered]
         assert values == sorted(values)
+
+# ---------------------------------------------------------------------------
+# Histogram quantile edge cases
+# ---------------------------------------------------------------------------
+
+class TestHistogramEdges:
+    def _hist(self, *values, buckets=(1.0, 10.0, 100.0)):
+        from repro.metrics.registry import Histogram
+
+        hist = Histogram(buckets=buckets)
+        for value in values:
+            hist.observe(value)
+        return hist
+
+    def test_empty_histogram_reports_zero_not_nan(self):
+        hist = self._hist()
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert hist.quantile(q) == 0.0
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+        with pytest.raises(ValueError):
+            hist.quantile(-0.01)
+
+    def test_single_observation_is_exact_at_every_quantile(self):
+        hist = self._hist(7.25)
+        for q in (0.0, 0.01, 0.5, 0.99, 1.0):
+            assert hist.quantile(q) == 7.25
+
+    def test_single_bucket_mass_repeated_value_is_exact(self):
+        # 50 identical values all land in one bucket; interpolation across
+        # the bucket must not smear the estimate.
+        hist = self._hist(*([42.0] * 50), buckets=(10.0, 100.0))
+        assert hist.quantile(0.5) == 42.0
+        assert hist.quantile(0.99) == 42.0
+
+    def test_p99_on_low_count_window_stays_inside_observed_range(self):
+        hist = self._hist(2.0, 3.0, 4.0)   # p99 of 3 samples
+        assert hist.quantile(0.99) <= 4.0
+        assert hist.quantile(0.01) >= 2.0
+        assert hist.quantile(1.0) == 4.0
+        assert hist.quantile(0.0) == 2.0
+
+    def test_overflow_bucket_reports_true_maximum(self):
+        hist = self._hist(5.0, 250.0, 900.0)   # two past the top edge (100)
+        assert hist.quantile(0.99) == 900.0    # not the 100.0 edge
+        assert hist.quantile(1.0) == 900.0
+
+    def test_merge_doc_folds_counts_sum_and_extremes(self):
+        from repro.metrics.registry import Histogram
+
+        a = self._hist(0.5, 20.0)
+        b = self._hist(200.0)
+        doc = {"counts": list(b.counts), "sum": b.sum, "count": b.count,
+               "min": b.minimum, "max": b.maximum}
+        a.merge_doc(doc)
+        assert a.count == 3 and a.sum == pytest.approx(220.5)
+        assert a.minimum == 0.5 and a.maximum == 200.0
+        assert a.quantile(1.0) == 200.0
+        empty = Histogram(buckets=(1.0,))
+        with pytest.raises(ValueError, match="bucket mismatch"):
+            empty.merge_doc(doc)
+
+    def test_extremes_survive_registry_roundtrip(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat", buckets=(1.0, 10.0)).observe(0.25)
+        reg.histogram("lat", buckets=(1.0, 10.0)).observe(64.0)
+        (sample,) = [s for s in reg.samples() if s.name == "lat"]
+        assert sample.histogram["min"] == 0.25
+        assert sample.histogram["max"] == 64.0
+        clone = MetricsRegistry.from_dict(json.loads(json.dumps(reg.as_dict())))
+        assert clone.histogram("lat", buckets=(1.0, 10.0)).quantile(1.0) == 64.0
+        # Empty histograms serialize without min/max keys.
+        reg2 = MetricsRegistry()
+        reg2.histogram("idle", buckets=(1.0,))
+        (idle,) = [s for s in reg2.samples() if s.name == "idle"]
+        assert "min" not in idle.histogram and "max" not in idle.histogram

@@ -396,3 +396,113 @@ def test_rebatch_graph_shares_weights_and_engine_for_batch():
     batched_out = engine4.run(stacked, functional=True).outputs
     for name, want in single.items():
         assert np.array_equal(batched_out[name][0:1], want)
+
+# ---------------------------------------------------------------------------
+# plan-cache partitions (multi-model isolation)
+# ---------------------------------------------------------------------------
+
+def test_partition_compile_storm_cannot_evict_other_model():
+    """Model A churning through its quota never touches B's hot plans."""
+    cache = PlanCache(capacity=8, quotas={"a": 2, "b": 2})
+    cache.put(_entry(_key(1, model="b")))
+    cache.put(_entry(_key(2, model="b")))
+    for bucket in (1, 2, 4, 8, 16, 32):   # A's compile storm: 6 plans, quota 2
+        cache.put(_entry(_key(bucket, model="a")))
+    parts = cache.partition_stats()
+    assert parts["a"]["evictions"] == 4 and parts["a"]["size"] == 2
+    assert parts["b"]["evictions"] == 0 and parts["b"]["size"] == 2
+    assert cache.get(_key(1, model="b")) is not None
+    assert cache.get(_key(2, model="b")) is not None
+    # Aggregates are exactly the partition sums (single-model manifest shape).
+    assert cache.evictions == 4
+    assert len(cache) == 4
+
+
+def test_partition_counters_accurate_across_wraparound():
+    """Hit/miss/eviction counters stay exact while an LRU partition wraps."""
+    registry = MetricsRegistry()
+    cache = PlanCache(capacity=2, registry=registry)
+    compiled = []
+
+    def compile_fn(k):
+        compiled.append(k.batch_bucket)
+        return _entry(k)
+
+    # Two passes over 4 buckets through a 2-entry partition: every lookup
+    # misses (the bucket was evicted before its reuse) and every insert past
+    # the first two evicts.
+    for _ in range(2):
+        for bucket in (1, 2, 4, 8):
+            cache.get_or_compile(_key(bucket, model="wrap"), compile_fn)
+    stats = cache.partition_stats()["wrap"]
+    assert stats == {"capacity": 2, "size": 2, "hits": 0, "misses": 8,
+                     "evictions": 6, "hit_ratio": 0.0}
+    assert compiled == [1, 2, 4, 8] * 2
+    # A hot key in LRU position survives: touch 8 then insert -> 4 evicted.
+    assert cache.get(_key(8, model="wrap")) is not None
+    cache.put(_entry(_key(16, model="wrap")))
+    assert cache.get(_key(8, model="wrap")) is not None
+    stats = cache.partition_stats()["wrap"]
+    assert stats["hits"] == 2 and stats["evictions"] == 7
+    assert registry.counter("serve_plan_cache_partition_hits",
+                            partition="wrap").value == 2
+    assert registry.counter("serve_plan_cache_partition_misses",
+                            partition="wrap").value == 8
+    assert registry.counter("serve_plan_cache_partition_evictions",
+                            partition="wrap").value == 7
+    # Aggregate counters (no partition label) match the partition's.
+    assert registry.counter("serve_plan_cache_hits").value == cache.hits == 2
+    assert registry.counter("serve_plan_cache_misses").value == cache.misses == 8
+
+
+def test_partition_quota_defaults_and_validation():
+    cache = PlanCache(capacity=5, quotas={"special": 1})
+    assert cache.partition("anyone").capacity == 5
+    assert cache.partition("special").capacity == 1
+    with pytest.raises(ValueError, match="quota"):
+        PlanCache(capacity=4, quotas={"m": 0})
+
+
+# ---------------------------------------------------------------------------
+# multi-model fleet serving
+# ---------------------------------------------------------------------------
+
+def test_multi_model_server_routes_and_partitions():
+    chain = small_chain_graph(name="chain_a")
+    other = small_chain_graph(size=32, name="chain_b")
+    server = InferenceServer(
+        {"chain_a": chain, "chain_b": other},
+        config=ServeConfig(functional=False, max_wait_s=0.005,
+                           cache_quotas={"chain_b": 1}))
+
+    async def run():
+        async with server:
+            ra = await server.submit(model="chain_a")
+            rb = await server.submit(model="chain_b")
+            rb2 = await server.submit(model="chain_b")
+            return ra, rb, rb2
+
+    ra, rb, rb2 = asyncio.run(run())
+    assert ra.model == "chain_a" and rb.model == "chain_b"
+    stats = server.stats()
+    assert set(stats["models"]) == {"chain_a", "chain_b"}
+    assert stats["models"]["chain_b"]["completed"] == 2
+    parts = stats["plan_cache"]["partitions"]
+    assert parts["chain_a"]["misses"] >= 1
+    assert parts["chain_b"]["capacity"] == 1 and parts["chain_b"]["hits"] >= 1
+
+
+def test_multi_model_server_rejects_unknown_model_and_dup_names():
+    from repro.errors import ExecutionError
+
+    chain = small_chain_graph(name="dup")
+    with pytest.raises(ExecutionError, match="unique names"):
+        InferenceServer([chain, small_chain_graph(size=32, name="dup")])
+    server = profile_server()
+
+    async def run():
+        async with server:
+            await server.submit(model="ghost")
+
+    with pytest.raises(ExecutionError, match="not resident"):
+        asyncio.run(run())
